@@ -1,0 +1,194 @@
+//! The per-node UDP event loop.
+//!
+//! Each agent owns one socket and one [`DmfsgdNode`]. The loop
+//! alternates between:
+//!
+//! 1. receiving datagrams (with a short read timeout so the loop stays
+//!    responsive) and dispatching them through the Algorithm 1/2
+//!    handlers;
+//! 2. firing a probe at a random neighbor whenever the probe interval
+//!    has elapsed.
+//!
+//! Datagrams that fail to decode are counted and dropped — a hostile
+//! or corrupted packet cannot crash an agent (see the codec's
+//! fault-model tests). Replies are matched to probes by nonce;
+//! unsolicited or stale replies are ignored, so duplicated or
+//! reordered UDP delivery is harmless.
+
+use crate::oracle::MeasurementOracle;
+use dmf_core::{DmfsgdConfig, DmfsgdNode};
+use dmf_datasets::Metric;
+use dmf_proto::{decode, encode, Message};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counters reported by an agent after shutdown.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgentStats {
+    /// Probes sent.
+    pub probes_sent: usize,
+    /// SGD updates applied (prober side).
+    pub updates_applied: usize,
+    /// Datagrams that failed to decode.
+    pub decode_errors: usize,
+    /// Replies that matched no outstanding probe.
+    pub unmatched_replies: usize,
+}
+
+/// Everything an agent thread needs to run.
+pub struct AgentHandle {
+    /// This agent's node id.
+    pub id: usize,
+    /// Bound socket (already non-blocking via read timeout).
+    pub socket: UdpSocket,
+    /// Peer addresses indexed by node id.
+    pub peers: Vec<SocketAddr>,
+    /// Ids of this agent's neighbors.
+    pub neighbors: Vec<usize>,
+    /// Shared measurement oracle.
+    pub oracle: Arc<MeasurementOracle>,
+    /// Algorithm parameters.
+    pub config: DmfsgdConfig,
+    /// Cooperative stop flag.
+    pub stop: Arc<AtomicBool>,
+    /// Wall-clock probe period.
+    pub probe_interval: Duration,
+}
+
+/// Runs the agent loop until the stop flag rises; returns the trained
+/// node and the counters.
+pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats) {
+    let AgentHandle {
+        id,
+        socket,
+        peers,
+        neighbors,
+        oracle,
+        config,
+        stop,
+        probe_interval,
+    } = handle;
+    assert!(!neighbors.is_empty(), "agent {id} has no neighbors");
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    let mut node = DmfsgdNode::new(id, config.rank, &mut rng);
+    let params = config.sgd;
+    let metric = oracle.metric();
+    let mut stats = AgentStats::default();
+
+    socket
+        .set_read_timeout(Some(Duration::from_millis(2)))
+        .expect("set_read_timeout");
+
+    // nonce → probed node id. Bounded: one outstanding probe per
+    // target at most (newer probes overwrite older ones).
+    let mut outstanding: HashMap<u64, usize> = HashMap::new();
+    let mut next_nonce: u64 = (id as u64) << 32;
+    let mut last_probe = Instant::now() - probe_interval; // probe immediately
+    let mut buf = [0u8; 4096];
+
+    while !stop.load(Ordering::Relaxed) {
+        // -- fire a probe when due ------------------------------------
+        if last_probe.elapsed() >= probe_interval {
+            last_probe = Instant::now();
+            let target = neighbors[rng.gen_range(0..neighbors.len())];
+            next_nonce += 1;
+            let nonce = next_nonce;
+            let msg = match metric {
+                Metric::Rtt => Message::RttProbe { nonce },
+                Metric::Abw => Message::AbwProbe {
+                    nonce,
+                    rate_mbps: oracle.tau(),
+                    u: node.coords.u.clone(),
+                },
+            };
+            outstanding.insert(nonce, target);
+            // Keep the table bounded even under heavy reply loss.
+            if outstanding.len() > 4 * neighbors.len() + 16 {
+                outstanding.clear();
+            }
+            if socket.send_to(&encode(&msg), peers[target]).is_ok() {
+                stats.probes_sent += 1;
+            }
+        }
+
+        // -- receive and dispatch --------------------------------------
+        let (len, src) = match socket.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => continue,
+        };
+        let msg = match decode(&buf[..len]) {
+            Ok(m) => m,
+            Err(_) => {
+                stats.decode_errors += 1;
+                continue;
+            }
+        };
+        match msg {
+            Message::RttProbe { nonce } => {
+                // Algorithm 1 step 2: reply with coordinates.
+                let (u, v) = node.rtt_reply();
+                let reply = Message::RttReply { nonce, u, v };
+                let _ = socket.send_to(&encode(&reply), src);
+            }
+            Message::RttReply { nonce, u, v } => {
+                // Steps 3–4: measure (via oracle) and update.
+                let Some(target) = outstanding.remove(&nonce) else {
+                    stats.unmatched_replies += 1;
+                    continue;
+                };
+                if u.len() != config.rank || v.len() != config.rank {
+                    stats.decode_errors += 1;
+                    continue;
+                }
+                if let Some(x) = oracle.rtt_class(id, target) {
+                    node.on_rtt_measurement(x, &u, &v, &params);
+                    stats.updates_applied += 1;
+                }
+            }
+            Message::AbwProbe { nonce, rate_mbps: _, u } => {
+                // Algorithm 2 steps 2–4 at the target. The prober's id
+                // is recovered from its source address.
+                let Some(prober) = peers.iter().position(|&p| p == src) else {
+                    continue; // unknown sender
+                };
+                if u.len() != config.rank {
+                    stats.decode_errors += 1;
+                    continue;
+                }
+                let Some(x) = oracle.abw_class(prober, id) else {
+                    continue;
+                };
+                let v = node.on_abw_probe(x, &u, &params);
+                let reply = Message::AbwReply { nonce, x, v };
+                let _ = socket.send_to(&encode(&reply), src);
+            }
+            Message::AbwReply { nonce, x, v } => {
+                // Step 5 at the prober.
+                if outstanding.remove(&nonce).is_none() {
+                    stats.unmatched_replies += 1;
+                    continue;
+                }
+                if v.len() != config.rank {
+                    stats.decode_errors += 1;
+                    continue;
+                }
+                node.on_abw_reply(x, &v, &params);
+                stats.updates_applied += 1;
+            }
+        }
+    }
+
+    (node, stats)
+}

@@ -1,0 +1,205 @@
+//! Spawn-N-agents localhost harness.
+//!
+//! Binds one UDP socket per node on 127.0.0.1 (ephemeral ports),
+//! distributes the address book and random neighbor sets, runs every
+//! agent on its own OS thread for a wall-clock budget, then joins the
+//! threads and returns the trained coordinates for evaluation.
+
+use crate::agent::{run_agent, AgentHandle, AgentStats};
+use crate::oracle::MeasurementOracle;
+use dmf_core::{DmfsgdConfig, DmfsgdNode};
+use dmf_datasets::Dataset;
+use dmf_linalg::Matrix;
+use dmf_simnet::NeighborSets;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Cluster-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// DMFSGD parameters (rank, η, λ, loss, k, seed).
+    pub dmfsgd: DmfsgdConfig,
+    /// Wall-clock run duration.
+    pub duration: Duration,
+    /// Per-agent probe period.
+    pub probe_interval: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            dmfsgd: DmfsgdConfig::paper_defaults(),
+            duration: Duration::from_secs(2),
+            probe_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The result of a cluster run.
+pub struct ClusterOutcome {
+    /// Trained nodes, indexed by node id.
+    pub nodes: Vec<DmfsgdNode>,
+    /// Per-agent statistics.
+    pub stats: Vec<AgentStats>,
+}
+
+impl ClusterOutcome {
+    /// Raw score `u_i · v_j`.
+    pub fn raw_score(&self, i: usize, j: usize) -> f64 {
+        self.nodes[i].predict_to(&self.nodes[j])
+    }
+
+    /// All pairwise scores (diagonal zeroed).
+    pub fn predicted_scores(&self) -> Matrix {
+        let n = self.nodes.len();
+        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { self.raw_score(i, j) })
+    }
+
+    /// Total SGD updates applied across agents.
+    pub fn total_updates(&self) -> usize {
+        self.stats.iter().map(|s| s.updates_applied).sum()
+    }
+}
+
+/// A running (or finished) localhost deployment.
+pub struct UdpCluster;
+
+impl UdpCluster {
+    /// Runs a full cluster lifecycle: bind, spawn, run, stop, join.
+    ///
+    /// The classification threshold is `tau`; the dataset decides
+    /// whether agents speak Algorithm 1 (RTT) or Algorithm 2 (ABW).
+    pub fn run(dataset: Dataset, tau: f64, config: ClusterConfig) -> std::io::Result<ClusterOutcome> {
+        config.dmfsgd.validate();
+        let n = dataset.len();
+        assert!(n > config.dmfsgd.k, "need more nodes than neighbors");
+
+        let oracle = Arc::new(MeasurementOracle::new(
+            dataset,
+            tau,
+            config.dmfsgd.seed ^ 0x0c0a_17e5,
+        ));
+
+        // Bind all sockets first so the address book is complete
+        // before any agent starts.
+        let mut sockets = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let socket = UdpSocket::bind("127.0.0.1:0")?;
+            addrs.push(socket.local_addr()?);
+            sockets.push(socket);
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.dmfsgd.seed ^ 0x7ea2_0001);
+        let neighbor_sets = NeighborSets::random(n, config.dmfsgd.k, &mut rng);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::with_capacity(n);
+        for (id, socket) in sockets.into_iter().enumerate() {
+            let handle = AgentHandle {
+                id,
+                socket,
+                peers: addrs.clone(),
+                neighbors: neighbor_sets.neighbors(id).to_vec(),
+                oracle: Arc::clone(&oracle),
+                config: config.dmfsgd,
+                stop: Arc::clone(&stop),
+                probe_interval: config.probe_interval,
+            };
+            let seed = config.dmfsgd.seed ^ ((id as u64) << 8) ^ 0xa9e1;
+            handles.push(thread::spawn(move || run_agent(handle, seed)));
+        }
+
+        thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        for handle in handles {
+            let (node, agent_stats) = handle.join().expect("agent thread panicked");
+            nodes.push(node);
+            stats.push(agent_stats);
+        }
+        // Threads are joined in spawn order, so ids line up; assert it.
+        for (idx, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id, idx, "node ids must line up with indices");
+        }
+        Ok(ClusterOutcome { nodes, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::abw::hps3_like;
+    use dmf_datasets::rtt::meridian_like;
+    use dmf_eval::{collect_scores, roc::auc};
+
+    #[test]
+    fn rtt_cluster_learns_over_real_udp() {
+        let d = meridian_like(24, 1);
+        let tau = d.median();
+        let cm = d.classify(tau);
+        let outcome = UdpCluster::run(
+            d,
+            tau,
+            ClusterConfig {
+                duration: Duration::from_millis(2500),
+                probe_interval: Duration::from_millis(2),
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster run");
+        assert!(
+            outcome.total_updates() > 24 * 50,
+            "too few updates: {}",
+            outcome.total_updates()
+        );
+        let a = auc(&collect_scores(&cm, &outcome.predicted_scores()));
+        assert!(a > 0.75, "UDP cluster AUC {a}");
+    }
+
+    #[test]
+    fn abw_cluster_learns_over_real_udp() {
+        let d = hps3_like(24, 2);
+        let tau = d.median();
+        let cm = d.classify(tau);
+        let outcome = UdpCluster::run(
+            d,
+            tau,
+            ClusterConfig {
+                duration: Duration::from_millis(2500),
+                probe_interval: Duration::from_millis(2),
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster run");
+        let a = auc(&collect_scores(&cm, &outcome.predicted_scores()));
+        assert!(a > 0.7, "ABW UDP cluster AUC {a}");
+    }
+
+    #[test]
+    fn agents_report_stats() {
+        let d = meridian_like(15, 3);
+        let tau = d.median();
+        let outcome = UdpCluster::run(
+            d,
+            tau,
+            ClusterConfig {
+                duration: Duration::from_millis(600),
+                probe_interval: Duration::from_millis(3),
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster run");
+        assert_eq!(outcome.stats.len(), 15);
+        for s in &outcome.stats {
+            assert!(s.probes_sent > 0, "every agent must probe");
+        }
+    }
+}

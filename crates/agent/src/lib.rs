@@ -1,0 +1,29 @@
+//! # dmf-agent
+//!
+//! Real UDP deployment of DMFSGD: one OS thread and one
+//! `std::net::UdpSocket` per agent, speaking the `dmf-proto` wire
+//! format. This is the "deploy one such system" step the paper leaves
+//! as future work (§7), demonstrated on localhost.
+//!
+//! What is real here: sockets, datagrams, the codec, concurrency,
+//! probe scheduling, loss tolerance (UDP gives no delivery guarantee
+//! and the agents don't need one). What is simulated: the *measured
+//! value* itself — localhost paths are homogeneous, so probes consult
+//! a shared [`oracle::MeasurementOracle`] backed by a synthetic ground
+//! truth (see DESIGN.md §4 for the substitution rationale).
+//!
+//! * [`oracle`] — the ground-truth measurement oracle.
+//! * [`agent`] — the per-node event loop (Algorithms 1 and 2 over
+//!   datagrams).
+//! * [`cluster`] — spawn-N-agents harness used by tests, examples and
+//!   benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod cluster;
+pub mod oracle;
+
+pub use cluster::{ClusterConfig, ClusterOutcome, UdpCluster};
+pub use oracle::MeasurementOracle;

@@ -1,0 +1,156 @@
+//! Ground-truth measurement oracle for localhost deployments.
+//!
+//! On a real network, an RTT probe measures the wire and an ABW probe
+//! self-induces congestion. On localhost every path looks identical,
+//! so agents consult this oracle instead: it serves the synthetic
+//! ground truth through the same noisy instruments the simulator uses
+//! (`dmf-simnet` probers). The oracle is shared read-only across agent
+//! threads; per-probe randomness comes from a lock-protected RNG so
+//! results stay reproducible for a given seed.
+
+use dmf_datasets::{Dataset, Metric};
+use dmf_simnet::probe::{PathloadProber, RttProber};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Shared measurement oracle.
+pub struct MeasurementOracle {
+    dataset: Dataset,
+    tau: f64,
+    rtt_prober: RttProber,
+    abw_prober: PathloadProber,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl MeasurementOracle {
+    /// Builds an oracle over `dataset`, classifying at `tau`.
+    pub fn new(dataset: Dataset, tau: f64, seed: u64) -> Self {
+        assert!(tau > 0.0, "tau must be positive");
+        Self {
+            dataset,
+            tau,
+            rtt_prober: RttProber::default(),
+            abw_prober: PathloadProber::default(),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The metric the oracle serves.
+    pub fn metric(&self) -> Metric {
+        self.dataset.metric
+    }
+
+    /// The classification threshold in force.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// True when the oracle covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// The ground-truth dataset (for evaluation only — agents must not
+    /// peek at it).
+    pub fn ground_truth(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Measures the RTT class for `i → j` (ping + threshold).
+    pub fn rtt_class(&self, i: usize, j: usize) -> Option<f64> {
+        let mut rng = self.rng.lock();
+        let rtt = self.rtt_prober.measure(&self.dataset, i, j, &mut *rng)?;
+        Some(Metric::Rtt.classify(rtt, self.tau))
+    }
+
+    /// Measures the ABW class for `i → j` (pathload train at rate
+    /// `tau`, inferred at the target).
+    pub fn abw_class(&self, i: usize, j: usize) -> Option<f64> {
+        let mut rng = self.rng.lock();
+        self.abw_prober
+            .probe_class(&self.dataset, i, j, self.tau, &mut *rng)
+    }
+
+    /// Measures the class with the instrument appropriate to the
+    /// metric.
+    pub fn measure_class(&self, i: usize, j: usize) -> Option<f64> {
+        match self.dataset.metric {
+            Metric::Rtt => self.rtt_class(i, j),
+            Metric::Abw => self.abw_class(i, j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::abw::hps3_like;
+    use dmf_datasets::rtt::meridian_like;
+
+    #[test]
+    fn rtt_oracle_classifies() {
+        let d = meridian_like(20, 1);
+        let tau = d.median();
+        let oracle = MeasurementOracle::new(d, tau, 7);
+        let x = oracle.measure_class(0, 1).unwrap();
+        assert!(x == 1.0 || x == -1.0);
+        assert_eq!(oracle.metric(), Metric::Rtt);
+        assert_eq!(oracle.len(), 20);
+    }
+
+    #[test]
+    fn abw_oracle_classifies() {
+        let d = hps3_like(20, 2);
+        let tau = d.median();
+        let oracle = MeasurementOracle::new(d, tau, 8);
+        let mut seen_good = false;
+        let mut seen_bad = false;
+        for i in 0..20 {
+            for j in 0..20 {
+                if i == j {
+                    continue;
+                }
+                match oracle.measure_class(i, j) {
+                    Some(1.0) => seen_good = true,
+                    Some(-1.0) => seen_bad = true,
+                    Some(other) => panic!("bad label {other}"),
+                    None => {}
+                }
+            }
+        }
+        assert!(seen_good && seen_bad, "median threshold must split classes");
+    }
+
+    #[test]
+    fn diagonal_unmeasurable() {
+        let d = meridian_like(10, 3);
+        let tau = d.median();
+        let oracle = MeasurementOracle::new(d, tau, 9);
+        assert_eq!(oracle.measure_class(4, 4), None);
+    }
+
+    #[test]
+    fn mostly_agrees_with_truth() {
+        let d = meridian_like(30, 4);
+        let tau = d.median();
+        let truth = d.classify(tau);
+        let oracle = MeasurementOracle::new(d, tau, 10);
+        let mut agree = 0;
+        let mut total = 0;
+        for (i, j) in truth.mask.iter_known() {
+            if let Some(x) = oracle.measure_class(i, j) {
+                total += 1;
+                if Some(x) == truth.label(i, j) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.9);
+    }
+}

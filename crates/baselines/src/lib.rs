@@ -1,0 +1,26 @@
+//! # dmf-baselines
+//!
+//! Reference algorithms the paper compares against (or that situate
+//! DMFSGD in the literature):
+//!
+//! * [`vivaldi`] — the Vivaldi network coordinate system [Dabek et
+//!   al., SIGCOMM 2004]: spring-relaxation Euclidean + height
+//!   coordinates. DMFSGD borrows its architecture (random neighbor
+//!   sets, probe-one-at-a-time); Vivaldi is the classical
+//!   quantity-based predictor for RTT.
+//! * [`centralized`] — centralized matrix factorization on the full
+//!   observed matrix: batch gradient descent for the classification
+//!   losses and alternating least squares for L2. The decentralized
+//!   SGD should approach these (they optimize the same objective with
+//!   full data access).
+//! * [`selection`] — peer-selection reference strategies: the oracle
+//!   (true-best) selector and score-matrix builders for it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod selection;
+pub mod vivaldi;
+
+pub use vivaldi::Vivaldi;

@@ -1,0 +1,118 @@
+//! Peer-selection reference strategies.
+//!
+//! The paper's Figure 7 compares DMFSGD-driven selection against
+//! *random* selection (implemented as a strategy in
+//! `dmf_eval::peersel`); the natural upper bound is the *oracle*
+//! selector that sees the true quantities. This module builds the
+//! score matrices those references need.
+
+use dmf_datasets::Dataset;
+use dmf_linalg::Matrix;
+
+/// A score matrix under which "higher is better" coincides with the
+/// true metric ordering: the oracle for
+/// [`dmf_eval::peersel::SelectionStrategy::HighestScore`].
+pub fn oracle_scores(dataset: &Dataset) -> Matrix {
+    let n = dataset.len();
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            return 0.0;
+        }
+        match dataset.value(i, j) {
+            // Negate RTT so smaller RTT = larger score; ABW is already
+            // higher-is-better.
+            Some(v) => {
+                if dataset.metric.lower_is_better() {
+                    -v
+                } else {
+                    v
+                }
+            }
+            // Unobserved pairs get the worst possible score.
+            None => f64::NEG_INFINITY,
+        }
+    })
+}
+
+/// A constant score matrix: makes `HighestScore` behave like a
+/// deterministic arbitrary choice (useful as a degenerate control in
+/// ablations — it should perform like random selection on average).
+pub fn constant_scores(n: usize) -> Matrix {
+    Matrix::zeros(n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::abw::hps3_like;
+    use dmf_datasets::rtt::meridian_like;
+    use dmf_eval::peersel::{evaluate_peer_selection, SelectionStrategy};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn oracle_scores_achieve_unit_stretch_rtt() {
+        let d = meridian_like(40, 1);
+        let scores = oracle_scores(&d);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let peer_sets: Vec<Vec<usize>> = (0..40)
+            .map(|i| (0..40).filter(|&p| p != i).take(12).collect())
+            .collect();
+        let out = evaluate_peer_selection(
+            &d,
+            d.median(),
+            &peer_sets,
+            SelectionStrategy::HighestScore(&scores),
+            &mut rng,
+        );
+        assert!((out.avg_stretch - 1.0).abs() < 1e-12);
+        assert_eq!(out.unsatisfied_fraction, 0.0);
+    }
+
+    #[test]
+    fn oracle_scores_achieve_unit_stretch_abw() {
+        let d = hps3_like(40, 2);
+        let scores = oracle_scores(&d);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let peer_sets: Vec<Vec<usize>> = (0..40)
+            .map(|i| (0..40).filter(|&p| p != i).take(12).collect())
+            .collect();
+        let out = evaluate_peer_selection(
+            &d,
+            d.median(),
+            &peer_sets,
+            SelectionStrategy::HighestScore(&scores),
+            &mut rng,
+        );
+        assert!((out.avg_stretch - 1.0).abs() < 1e-12, "stretch {}", out.avg_stretch);
+        assert_eq!(out.unsatisfied_fraction, 0.0);
+    }
+
+    #[test]
+    fn oracle_beats_random() {
+        let d = meridian_like(50, 3);
+        let scores = oracle_scores(&d);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let peer_sets: Vec<Vec<usize>> = (0..50)
+            .map(|i| (0..50).filter(|&p| p != i).take(15).collect())
+            .collect();
+        let oracle = evaluate_peer_selection(
+            &d,
+            d.median(),
+            &peer_sets,
+            SelectionStrategy::HighestScore(&scores),
+            &mut rng,
+        );
+        let random =
+            evaluate_peer_selection(&d, d.median(), &peer_sets, SelectionStrategy::Random, &mut rng);
+        assert!(oracle.avg_stretch < random.avg_stretch);
+        assert!(oracle.unsatisfied_fraction <= random.unsatisfied_fraction);
+    }
+
+    #[test]
+    fn constant_scores_shape() {
+        let m = constant_scores(7);
+        assert_eq!(m.shape(), (7, 7));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation: wall-clock cost of training with each loss function at a
+//! fixed measurement budget (DESIGN.md calls out the hinge/logistic
+//! choice as the main algorithmic knob).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_bench::experiments::training::default_config;
+use dmf_core::provider::ClassLabelProvider;
+use dmf_core::{DmfsgdSystem, Loss};
+use dmf_datasets::rtt::meridian_like;
+use std::hint::black_box;
+
+fn bench_losses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_by_loss");
+    group.sample_size(10);
+    let n = 150usize;
+    let d = meridian_like(n, 9);
+    let class = d.classify(d.median());
+    for loss in [Loss::Logistic, Loss::Hinge] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{loss:?}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let mut cfg = default_config(10, 2);
+                    cfg.sgd.loss = loss;
+                    let mut provider = ClassLabelProvider::new(class.clone());
+                    let mut system = DmfsgdSystem::new(n, cfg);
+                    system.run(black_box(15_000), &mut provider);
+                    system.measurements_used()
+                });
+            },
+        );
+    }
+    // Quantity (L2) mode as the regression comparator.
+    group.bench_function("L2_quantity_mode", |b| {
+        let median = d.median();
+        b.iter(|| {
+            let cfg = default_config(10, 3).quantity(median);
+            let mut provider =
+                dmf_core::provider::QuantityProvider::new(d.clone(), median);
+            let mut system = DmfsgdSystem::new(n, cfg);
+            system.run(black_box(15_000), &mut provider);
+            system.measurements_used()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_losses);
+criterion_main!(benches);

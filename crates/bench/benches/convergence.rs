@@ -1,0 +1,33 @@
+//! Macro-benchmark: full-system training throughput (measurements
+//! processed per second) as population size grows — the scalability
+//! dimension behind the paper's "large-scale networks" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmf_bench::experiments::training::default_config;
+use dmf_core::provider::ClassLabelProvider;
+use dmf_core::DmfsgdSystem;
+use dmf_datasets::rtt::meridian_like;
+use std::hint::black_box;
+
+fn bench_system_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_ticks");
+    group.sample_size(10);
+    let ticks = 20_000usize;
+    group.throughput(Throughput::Elements(ticks as u64));
+    for n in [100usize, 300, 600] {
+        let d = meridian_like(n, n as u64);
+        let class = d.classify(d.median());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut provider = ClassLabelProvider::new(class.clone());
+                let mut system = DmfsgdSystem::new(n, default_config(10, 1));
+                system.run(black_box(ticks), &mut provider);
+                system.measurements_used()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_system_ticks);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmark: loss value/gradient evaluation for the three loss
+//! functions of §4.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_core::Loss;
+use std::hint::black_box;
+
+fn bench_losses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss");
+    let inputs: Vec<(f64, f64)> = (0..64)
+        .map(|i| {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let xhat = (i as f64 - 32.0) / 8.0;
+            (x, xhat)
+        })
+        .collect();
+    for loss in [Loss::L2, Loss::Hinge, Loss::Logistic] {
+        group.bench_with_input(
+            BenchmarkId::new("gradient_factor", format!("{loss:?}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &(x, xhat) in &inputs {
+                        acc += loss.gradient_factor(black_box(x), black_box(xhat));
+                    }
+                    acc
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("value", format!("{loss:?}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &(x, xhat) in &inputs {
+                        acc += loss.value(black_box(x), black_box(xhat));
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_losses);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmark: wire codec throughput (the per-probe protocol
+//! overhead of a deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmf_proto::{decode, encode, Message};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for rank in [10usize, 100] {
+        let reply = Message::RttReply {
+            nonce: 42,
+            u: vec![0.5; rank],
+            v: vec![-0.25; rank],
+        };
+        let wire = encode(&reply);
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_rtt_reply", rank), &rank, |b, _| {
+            b.iter(|| encode(black_box(&reply)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode_rtt_reply", rank), &rank, |b, _| {
+            b.iter(|| decode(black_box(&wire)).expect("decode"));
+        });
+    }
+    // The small fixed-size probe datagram.
+    let probe = Message::RttProbe { nonce: 7 };
+    let probe_wire = encode(&probe);
+    group.bench_function("encode_probe", |b| b.iter(|| encode(black_box(&probe))));
+    group.bench_function("decode_probe", |b| {
+        b.iter(|| decode(black_box(&probe_wire)).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmark: cost of one DMFSGD update as a function of rank.
+//!
+//! The paper's scalability claim rests on the per-measurement work
+//! being O(r) vector arithmetic; this bench quantifies it for the
+//! rank sweep of Figure 4a.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_core::config::SgdParams;
+use dmf_core::update::sgd_step;
+use dmf_core::Loss;
+use std::hint::black_box;
+
+fn bench_sgd_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgd_step");
+    for rank in [3usize, 10, 20, 100] {
+        let params = SgdParams {
+            eta: 0.1,
+            lambda: 0.1,
+            loss: Loss::Logistic,
+        };
+        let fixed: Vec<f64> = (0..rank).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("logistic", rank), &rank, |b, _| {
+            let mut updated: Vec<f64> = (0..rank).map(|i| (i as f64 * 0.21).cos()).collect();
+            b.iter(|| {
+                sgd_step(black_box(&mut updated), black_box(&fixed), -1.0, &params);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_rtt_measurement(c: &mut Criterion) {
+    // Both eq. 9 and eq. 10, plus the coordinate copy the reply carries.
+    use dmf_core::DmfsgdNode;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let params = SgdParams {
+        eta: 0.1,
+        lambda: 0.1,
+        loss: Loss::Logistic,
+    };
+    let mut group = c.benchmark_group("rtt_measurement");
+    for rank in [10usize, 100] {
+        let mut a = DmfsgdNode::new(0, rank, &mut rng);
+        let b_node = DmfsgdNode::new(1, rank, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |bencher, _| {
+            bencher.iter(|| {
+                let (u, v) = b_node.rtt_reply();
+                a.on_rtt_measurement(black_box(1.0), &u, &v, &params);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgd_step, bench_full_rtt_measurement);
+criterion_main!(benches);

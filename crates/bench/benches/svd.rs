@@ -1,0 +1,42 @@
+//! Micro-benchmark: SVD cost — exact Jacobi vs randomized top-k
+//! (the Figure 1 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmf_linalg::svd::{jacobi_svd, randomized_top_k};
+use dmf_linalg::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn low_rank_plus_noise(n: usize, rank: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let base = dmf_linalg::svd::random_low_rank(n, n, rank, &mut rng);
+    base.map_indexed(|_, _, v| v + 0.01 * dmf_linalg::stats::normal_sample(&mut rng, 0.0, 1.0))
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    group.sample_size(10);
+    for n in [30usize, 60, 120] {
+        let m = low_rank_plus_noise(n, 8, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| jacobi_svd(black_box(&m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_randomized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_top20");
+    group.sample_size(10);
+    for n in [120usize, 300, 600] {
+        let m = low_rank_plus_noise(n, 8, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| randomized_top_k(black_box(&m), 20, 8, 3, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jacobi, bench_randomized);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Extension experiment (paper §7 future work): ordinal multiclass
+//! prediction accuracy as the class count grows, on all three
+//! datasets.
+
+use dmf_bench::report;
+use dmf_bench::{Scale, Trio};
+use dmf_core::config::SgdParams;
+use dmf_core::multiclass::{MulticlassLabels, MulticlassSystem, OrdinalClassifier};
+use dmf_core::Loss;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    classes: usize,
+    exact_accuracy: f64,
+    within_one_accuracy: f64,
+    mean_abs_class_error: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let trio = Trio::build(&scale, 42);
+    let params = SgdParams {
+        eta: 0.1,
+        lambda: 0.1,
+        loss: Loss::Logistic,
+    };
+
+    println!(
+        "{:>10} {:>3} {:>10} {:>10} {:>12} {:>8}",
+        "dataset", "C", "exact", "chance", "within-one", "MAE"
+    );
+    let mut rows = Vec::new();
+    for bundle in trio.bundles() {
+        for classes in [2usize, 3, 5] {
+            let labels = MulticlassLabels::quantiles(&bundle.dataset, classes);
+            let clf = OrdinalClassifier::equally_spaced(classes, Loss::Logistic);
+            let mut system = MulticlassSystem::new(
+                bundle.dataset.len(),
+                10,
+                bundle.k,
+                clf,
+                params,
+                bundle.dataset.metric,
+                classes as u64,
+            );
+            system.run(
+                bundle.dataset.len() * bundle.k * 40,
+                &labels,
+            );
+            let (exact, within_one, mae) = system.evaluate(&labels);
+            println!(
+                "{:>10} {classes:>3} {:>9.1}% {:>9.1}% {:>11.1}% {mae:>8.2}",
+                bundle.name,
+                exact * 100.0,
+                100.0 / classes as f64,
+                within_one * 100.0
+            );
+            assert!(
+                exact > 1.5 / classes as f64,
+                "{} C={classes}: exact accuracy {exact} barely above chance",
+                bundle.name
+            );
+            rows.push(Row {
+                dataset: bundle.name.to_string(),
+                classes,
+                exact_accuracy: exact,
+                within_one_accuracy: within_one,
+                mean_abs_class_error: mae,
+            });
+        }
+    }
+    let path = report::write_json("ext_multiclass", &rows);
+    println!("\nwritten: {}", path.display());
+    println!("shape (well above chance at every C): YES");
+}

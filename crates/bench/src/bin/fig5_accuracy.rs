@@ -1,0 +1,52 @@
+//! Regenerates Figure 5: ROC, precision–recall, and AUC convergence
+//! under the default configuration.
+
+use dmf_bench::experiments::fig5;
+use dmf_bench::report;
+use dmf_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let fig = fig5::run(&scale, 42);
+
+    for d in &fig.datasets {
+        println!("=== {} ===", d.dataset);
+        println!("final AUC: {:.3}", d.final_auc);
+        match d.converged_at_times_k {
+            Some(t) => println!("converged (92% of final) at {t:.1} × k measurements/node"),
+            None => println!("did not reach 92% of final within the budget"),
+        }
+        let roc_s: Vec<String> = d
+            .roc
+            .iter()
+            .step_by((d.roc.len() / 8).max(1))
+            .map(|(f, t)| format!("({f:.2},{t:.2})"))
+            .collect();
+        println!("ROC (fpr,tpr): {}", roc_s.join(" "));
+        let pr_s: Vec<String> = d
+            .pr
+            .iter()
+            .step_by((d.pr.len() / 8).max(1))
+            .map(|(r, p)| format!("({r:.2},{p:.2})"))
+            .collect();
+        println!("PR (recall,precision): {}", pr_s.join(" "));
+        let conv_s: Vec<String> = d
+            .convergence
+            .iter()
+            .map(|(x, a)| format!("({x:.0}k,{a:.2})"))
+            .collect();
+        println!("AUC vs measurements (×k): {}", conv_s.join(" "));
+        println!();
+    }
+    println!(
+        "shape (all datasets converge ≤ 20×k): {}",
+        if fig.converges_within(20.0) { "YES (matches paper)" } else { "NO" }
+    );
+    let path = report::write_json("fig5_accuracy", &fig);
+    println!("written: {}", path.display());
+    assert!(fig.converges_within(20.0), "Figure 5c convergence claim violated");
+    for d in &fig.datasets {
+        assert!(d.final_auc > 0.85, "{}: final AUC {} too low", d.dataset, d.final_auc);
+    }
+}

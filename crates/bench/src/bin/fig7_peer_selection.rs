@@ -1,0 +1,50 @@
+//! Regenerates Figure 7: peer selection — optimality (stretch) and
+//! satisfaction (unsatisfied-node percentage).
+
+use dmf_bench::experiments::fig7;
+use dmf_bench::report;
+use dmf_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let fig = fig7::run(&scale, 42);
+
+    let methods = [
+        "Random",
+        "Classification",
+        "Regression",
+        "Classification with noise",
+    ];
+    for (title, pick) in [
+        ("stretch", 0usize),
+        ("unsatisfied-node fraction", 1usize),
+    ] {
+        println!("Figure 7 — {title} vs peer-set size");
+        for dataset in ["Harvard", "Meridian", "HP-S3"] {
+            println!("  {dataset}:");
+            for method in methods {
+                let mut series: Vec<(usize, f64)> = fig
+                    .cells
+                    .iter()
+                    .filter(|c| c.dataset == dataset && c.method == method)
+                    .map(|c| (c.peers, if pick == 0 { c.stretch } else { c.unsatisfied }))
+                    .collect();
+                series.sort_by_key(|&(p, _)| p);
+                let cells: Vec<String> = series
+                    .iter()
+                    .map(|(p, v)| format!("{p}:{v:.3}"))
+                    .collect();
+                println!("    {:<26} {}", method, cells.join("  "));
+            }
+        }
+        println!();
+    }
+    println!(
+        "shape (predictors beat random; noise costs little satisfaction): {}",
+        if fig.shape_holds() { "YES (matches paper)" } else { "NO" }
+    );
+    let path = report::write_json("fig7_peer_selection", &fig);
+    println!("written: {}", path.display());
+    assert!(fig.shape_holds(), "Figure 7 qualitative ordering violated");
+}

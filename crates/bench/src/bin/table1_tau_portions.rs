@@ -1,0 +1,35 @@
+//! Regenerates Table 1: τ values for target good-path portions.
+
+use dmf_bench::experiments::table1;
+use dmf_bench::report;
+use dmf_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let table = table1::run(&scale, 42);
+
+    println!("Table 1 — impact of τ on portions of good paths");
+    let header: Vec<String> = std::iter::once("Good%".to_string())
+        .chain(
+            table
+                .columns
+                .iter()
+                .map(|c| format!("{} ({})", c.dataset, c.unit)),
+        )
+        .collect();
+    println!("{}", report::row(&header, &[6, 16, 16, 16]));
+    for (idx, &portion) in table1::PORTIONS.iter().enumerate() {
+        let cells: Vec<String> = std::iter::once(format!("{:.0}%", portion * 100.0))
+            .chain(table.columns.iter().map(|c| format!("{:.1}", c.rows[idx].1)))
+            .collect();
+        println!("{}", report::row(&cells, &[6, 16, 16, 16]));
+    }
+    println!(
+        "\nstructure (τ monotone, portions achieved): {}",
+        if table.structure_holds() { "YES (matches paper)" } else { "NO" }
+    );
+    let path = report::write_json("table1_tau_portions", &table);
+    println!("written: {}", path.display());
+    assert!(table.structure_holds(), "Table 1 structure violated");
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table 2: accuracy and confusion matrices.
+
+use dmf_bench::experiments::table2;
+use dmf_bench::report;
+use dmf_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let table = table2::run(&scale, 42);
+
+    println!("Table 2 — confusion matrices (sign of x̂)");
+    for r in &table.rows {
+        println!("\n{}  (accuracy = {:.1}%)", r.dataset, r.accuracy * 100.0);
+        println!("{}", report::row(&["".into(), "pred Good".into(), "pred Bad".into()], &[12, 10, 10]));
+        println!(
+            "{}",
+            report::row(
+                &[
+                    "actual Good".into(),
+                    format!("{:.1}%", r.confusion_percent[0][0]),
+                    format!("{:.1}%", r.confusion_percent[0][1]),
+                ],
+                &[12, 10, 10],
+            )
+        );
+        println!(
+            "{}",
+            report::row(
+                &[
+                    "actual Bad".into(),
+                    format!("{:.1}%", r.confusion_percent[1][0]),
+                    format!("{:.1}%", r.confusion_percent[1][1]),
+                ],
+                &[12, 10, 10],
+            )
+        );
+    }
+    println!(
+        "\nshape (accuracy > 80%, diagonal dominant): {}",
+        if table.shape_holds() { "YES (matches paper)" } else { "NO" }
+    );
+    let path = report::write_json("table2_confusion", &table);
+    println!("written: {}", path.display());
+    assert!(table.shape_holds(), "Table 2 shape violated");
+}

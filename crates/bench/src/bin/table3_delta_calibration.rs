@@ -1,0 +1,35 @@
+//! Regenerates Table 3: δ values achieving 5/10/15 % error levels.
+
+use dmf_bench::experiments::table3;
+use dmf_bench::report;
+use dmf_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let table = table3::run(&scale, 42);
+
+    println!("Table 3 — δ values for target error levels");
+    let header: Vec<String> = std::iter::once("error%".to_string())
+        .chain(
+            table
+                .columns
+                .iter()
+                .map(|c| format!("{} {} ({})", c.dataset, c.error_type, c.unit)),
+        )
+        .collect();
+    println!("{}", report::row(&header, &[7, 20, 20, 18, 18]));
+    for (idx, &level) in table3::LEVELS.iter().enumerate() {
+        let cells: Vec<String> = std::iter::once(format!("{:.0}%", level * 100.0))
+            .chain(table.columns.iter().map(|c| format!("{:.1}", c.rows[idx].1)))
+            .collect();
+        println!("{}", report::row(&cells, &[7, 20, 20, 18, 18]));
+    }
+    println!(
+        "\nδ monotone in error level: {}",
+        if table.monotone() { "YES (matches paper)" } else { "NO" }
+    );
+    let path = report::write_json("table3_delta_calibration", &table);
+    println!("written: {}", path.display());
+    assert!(table.monotone(), "Table 3 monotonicity violated");
+}

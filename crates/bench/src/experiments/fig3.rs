@@ -1,0 +1,130 @@
+//! Figure 3 — AUC under different η and λ, for hinge and logistic
+//! losses, on all three datasets.
+//!
+//! Row 1: η ∈ {0.001, 0.01, 0.1, 1.0} with λ = 0.1.
+//! Row 2: λ ∈ {0.001, 0.01, 0.1, 1.0} with η = 0.1.
+//! Expected shape: a broad plateau around η = λ = 0.1; logistic ≥
+//! hinge in most cells; tiny η under-trains within the fixed budget.
+
+use crate::experiments::scale::Scale;
+use crate::experiments::training::{auc_of, default_config, BundleTrainer};
+use crate::experiments::trio::Trio;
+use dmf_core::Loss;
+use serde::{Deserialize, Serialize};
+
+/// Sweep values used by the paper.
+pub const SWEEP: [f64; 4] = [0.001, 0.01, 0.1, 1.0];
+
+/// One AUC measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig3Cell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Which parameter was swept ("eta" or "lambda").
+    pub swept: String,
+    /// The swept parameter's value.
+    pub value: f64,
+    /// Loss function.
+    pub loss: String,
+    /// Resulting AUC.
+    pub auc: f64,
+}
+
+/// The full figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// All cells (3 datasets × 2 sweeps × 4 values × 2 losses).
+    pub cells: Vec<Fig3Cell>,
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale, seed: u64) -> Fig3 {
+    let trio = Trio::build(scale, seed);
+    let trainer = BundleTrainer { trio: &trio, scale };
+    let mut cells = Vec::new();
+    for bundle in trio.bundles() {
+        let tau = bundle.dataset.median();
+        let class = bundle.dataset.classify(tau);
+        for loss in [Loss::Logistic, Loss::Hinge] {
+            for &eta in &SWEEP {
+                let mut cfg = default_config(bundle.k, seed ^ 0xe7a);
+                cfg.sgd.eta = eta;
+                cfg.sgd.lambda = 0.1;
+                cfg.sgd.loss = loss;
+                // λη < 1 is required; the (η=1, λ=0.1) corner is valid.
+                let system = trainer.train(bundle, &class, cfg, &[], 0);
+                cells.push(Fig3Cell {
+                    dataset: bundle.name.into(),
+                    swept: "eta".into(),
+                    value: eta,
+                    loss: format!("{loss:?}"),
+                    auc: auc_of(&system, &class),
+                });
+            }
+            for &lambda in &SWEEP {
+                let mut cfg = default_config(bundle.k, seed ^ 0x1a3bda);
+                cfg.sgd.eta = 0.1;
+                cfg.sgd.lambda = lambda;
+                cfg.sgd.loss = loss;
+                let system = trainer.train(bundle, &class, cfg, &[], 0);
+                cells.push(Fig3Cell {
+                    dataset: bundle.name.into(),
+                    swept: "lambda".into(),
+                    value: lambda,
+                    loss: format!("{loss:?}"),
+                    auc: auc_of(&system, &class),
+                });
+            }
+        }
+    }
+    Fig3 { cells }
+}
+
+impl Fig3 {
+    /// AUC of a specific cell.
+    pub fn auc(&self, dataset: &str, swept: &str, value: f64, loss: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.dataset == dataset && c.swept == swept && c.value == value && c.loss == loss)
+            .map(|c| c.auc)
+    }
+
+    /// The paper's headline claims for this figure.
+    pub fn shape_holds(&self) -> bool {
+        // (a) the default η=0.1 cell is accurate on every dataset;
+        let default_good = ["Harvard", "Meridian", "HP-S3"].iter().all(|d| {
+            self.auc(d, "eta", 0.1, "Logistic").map(|a| a > 0.8).unwrap_or(false)
+        });
+        // (b) η=0.1 beats the under-trained η=0.001 everywhere (logistic).
+        let eta_matters = ["Harvard", "Meridian", "HP-S3"].iter().all(|d| {
+            match (self.auc(d, "eta", 0.1, "Logistic"), self.auc(d, "eta", 0.001, "Logistic")) {
+                (Some(hi), Some(lo)) => hi > lo,
+                _ => false,
+            }
+        });
+        // (c) logistic ≥ hinge in the majority of cells.
+        let mut logistic_wins = 0usize;
+        let mut comparisons = 0usize;
+        for c in self.cells.iter().filter(|c| c.loss == "Logistic") {
+            if let Some(h) = self.auc(&c.dataset, &c.swept, c.value, "Hinge") {
+                comparisons += 1;
+                if c.auc >= h - 0.01 {
+                    logistic_wins += 1;
+                }
+            }
+        }
+        default_good && eta_matters && comparisons > 0 && logistic_wins * 2 > comparisons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_quick_scale_shape() {
+        let fig = run(&Scale::quick(), 3);
+        assert_eq!(fig.cells.len(), 3 * 2 * 2 * 4);
+        assert!(fig.shape_holds(), "figure 3 qualitative shape violated");
+    }
+}

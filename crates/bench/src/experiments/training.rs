@@ -1,0 +1,254 @@
+//! Shared training/evaluation plumbing for the experiment modules.
+//!
+//! The paper's protocol differs per dataset: "the static measurements
+//! in Meridian and HP-S3 are used in random order, whereas the dynamic
+//! measurements in Harvard are used in time order according to the
+//! timestamps" (§6.1). [`BundleTrainer`] implements that dispatch so
+//! every experiment module trains each dataset the way the paper did.
+
+use crate::experiments::scale::Scale;
+use crate::experiments::trio::{DatasetBundle, Trio};
+use dmf_core::provider::ClassLabelProvider;
+use dmf_core::{DmfsgdConfig, DmfsgdSystem, Loss, PredictionMode};
+use dmf_datasets::{ClassMatrix, Dataset, DynamicTrace, Metric};
+use dmf_eval::collect_scores;
+use dmf_eval::roc::auc;
+use dmf_simnet::errors::ErrorModel;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds the paper-default configuration for a dataset with neighbor
+/// count `k`, seeded deterministically.
+pub fn default_config(k: usize, seed: u64) -> DmfsgdConfig {
+    let mut cfg = DmfsgdConfig::paper_defaults().with_k(k);
+    cfg.seed = seed;
+    cfg
+}
+
+/// Trains a class-based DMFSGD system on the labels of `class` for
+/// `ticks` measurements (the random-order protocol).
+pub fn train_class(class: &ClassMatrix, config: DmfsgdConfig, ticks: usize) -> DmfsgdSystem {
+    let mut provider = ClassLabelProvider::new(class.clone());
+    let mut system = DmfsgdSystem::new(class.len(), config);
+    system.run(ticks, &mut provider);
+    system
+}
+
+/// Applies an error model to one on-the-fly measurement: returns the
+/// (possibly flipped) label. Mirrors `dmf_simnet::errors::inject`, but
+/// at measurement time — which is where the paper's errors physically
+/// originate (flaky tools, malicious targets, bursts).
+fn corrupt_label(
+    x: f64,
+    value: f64,
+    tau: f64,
+    metric: Metric,
+    model: &ErrorModel,
+    rng: &mut impl Rng,
+) -> f64 {
+    match *model {
+        ErrorModel::FlipNearTau { delta } => {
+            if (value - tau).abs() <= delta && rng.gen::<f64>() < 0.5 {
+                -x
+            } else {
+                x
+            }
+        }
+        ErrorModel::UnderestimationBias { delta } => {
+            let gap = if metric.lower_is_better() {
+                tau - value
+            } else {
+                value - tau
+            };
+            if gap > 0.0 && gap <= delta && x > 0.0 {
+                -1.0
+            } else {
+                x
+            }
+        }
+        ErrorModel::FlipRandom { fraction } => {
+            if rng.gen::<f64>() < fraction {
+                -x
+            } else {
+                x
+            }
+        }
+        ErrorModel::GoodToBad { fraction_of_good } => {
+            if x > 0.0 && rng.gen::<f64>() < fraction_of_good {
+                -1.0
+            } else {
+                x
+            }
+        }
+    }
+}
+
+/// Replays a dynamic trace in time order, classifying each measurement
+/// at `tau` and passing it through the given error models in sequence.
+/// Returns the trained system and the fraction of labels corrupted.
+pub fn train_trace_class(
+    trace: &DynamicTrace,
+    tau: f64,
+    config: DmfsgdConfig,
+    errors: &[ErrorModel],
+    error_seed: u64,
+) -> (DmfsgdSystem, f64) {
+    let mut system = DmfsgdSystem::new(trace.nodes, config);
+    let mut rng = ChaCha8Rng::seed_from_u64(error_seed);
+    let mut corrupted = 0usize;
+    for m in &trace.measurements {
+        let clean = trace.metric.classify(m.value, tau);
+        let mut x = clean;
+        for model in errors {
+            x = corrupt_label(x, m.value, tau, trace.metric, model, &mut rng);
+        }
+        if x != clean {
+            corrupted += 1;
+        }
+        system.apply_measurement(m.from, m.to, x, trace.metric);
+    }
+    let level = corrupted as f64 / trace.measurements.len().max(1) as f64;
+    (system, level)
+}
+
+/// Trains a quantity-based (regression) system on raw values in random
+/// order.
+pub fn train_quantity(dataset: &Dataset, k: usize, seed: u64, ticks: usize) -> DmfsgdSystem {
+    let scale = dataset.median();
+    let mut cfg = default_config(k, seed).quantity(scale);
+    cfg.sgd.loss = Loss::L2;
+    let mut provider = dmf_core::provider::QuantityProvider::new(dataset.clone(), scale);
+    let mut system = DmfsgdSystem::new(dataset.len(), cfg);
+    system.run(ticks, &mut provider);
+    system
+}
+
+/// Trains a quantity-based system by trace replay (Harvard regression).
+///
+/// Raw application-level traces contain congestion spikes several
+/// times above the pair median; the unbounded L2 gradient would make
+/// plain SGD diverge on them (the reason the paper's regression
+/// comparator works on stable values). Spikes are clipped at 10× the
+/// value scale — far above any median — and the step is halved, which
+/// keeps the replay stable without affecting the ranking the
+/// peer-selection experiment consumes.
+pub fn train_quantity_trace(
+    trace: &DynamicTrace,
+    value_scale: f64,
+    k: usize,
+    seed: u64,
+) -> DmfsgdSystem {
+    let mut cfg = default_config(k, seed).quantity(value_scale);
+    cfg.sgd.loss = Loss::L2;
+    cfg.sgd.eta = 0.05;
+    let mut clipped = trace.clone();
+    for m in &mut clipped.measurements {
+        m.value = m.value.min(value_scale * 10.0);
+    }
+    let mut system = DmfsgdSystem::new(trace.nodes, cfg);
+    system.run_trace(&clipped, value_scale /* unused in quantity mode */);
+    system
+}
+
+/// Paper-protocol trainer: trace replay for Harvard, random-order
+/// label training for the static datasets.
+pub struct BundleTrainer<'a> {
+    /// The dataset trio (holds the Harvard trace).
+    pub trio: &'a Trio,
+    /// The scale (tick budgets).
+    pub scale: &'a Scale,
+}
+
+impl BundleTrainer<'_> {
+    /// Trains on `class` (whose labels may already carry injected
+    /// errors for the static datasets). For Harvard, the trace is
+    /// replayed at `class.tau` with `trace_errors` applied per
+    /// measurement instead.
+    pub fn train(
+        &self,
+        bundle: &DatasetBundle,
+        class: &ClassMatrix,
+        config: DmfsgdConfig,
+        trace_errors: &[ErrorModel],
+        error_seed: u64,
+    ) -> DmfsgdSystem {
+        if bundle.name == "Harvard" {
+            let (system, _) =
+                train_trace_class(&self.trio.harvard_trace, class.tau, config, trace_errors, error_seed);
+            system
+        } else {
+            let ticks = self.scale.ticks(bundle.dataset.len(), config.k);
+            train_class(class, config, ticks)
+        }
+    }
+}
+
+/// AUC of a trained system against reference labels.
+pub fn auc_of(system: &DmfsgdSystem, reference: &ClassMatrix) -> f64 {
+    auc(&collect_scores(reference, &system.predicted_scores()))
+}
+
+/// Materializes the system's predicted quantities (for regression
+/// peer selection): raw score × value scale.
+pub fn predicted_quantities(system: &DmfsgdSystem) -> dmf_linalg::Matrix {
+    let n = system.len();
+    dmf_linalg::Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { system.predict(i, j) })
+}
+
+/// True when the system is in quantity mode (sanity check helper).
+pub fn is_quantity(system: &DmfsgdSystem) -> bool {
+    matches!(system.config().mode, PredictionMode::Quantity { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::rtt::meridian_like;
+
+    #[test]
+    fn train_and_evaluate_quickly() {
+        let d = meridian_like(50, 1);
+        let cm = d.classify(d.median());
+        let system = train_class(&cm, default_config(10, 1), 50 * 10 * 20);
+        let a = auc_of(&system, &cm);
+        assert!(a > 0.85, "default training AUC {a}");
+    }
+
+    #[test]
+    fn quantity_training_flagged() {
+        let d = meridian_like(40, 2);
+        let system = train_quantity(&d, 10, 2, 40 * 10 * 10);
+        assert!(is_quantity(&system));
+        let q = predicted_quantities(&system);
+        assert_eq!(q.shape(), (40, 40));
+    }
+
+    #[test]
+    fn trace_training_with_errors_reports_level() {
+        let scale = Scale::quick();
+        let trio = Trio::build(&scale, 5);
+        let tau = trio.harvard.dataset.median();
+        let (_, level) = train_trace_class(
+            &trio.harvard_trace,
+            tau,
+            default_config(10, 5),
+            &[ErrorModel::FlipRandom { fraction: 0.10 }],
+            9,
+        );
+        assert!((level - 0.10).abs() < 0.02, "achieved error level {level}");
+    }
+
+    #[test]
+    fn bundle_trainer_dispatches_both_protocols() {
+        let scale = Scale::quick();
+        let trio = Trio::build(&scale, 6);
+        let trainer = BundleTrainer { trio: &trio, scale: &scale };
+        for bundle in trio.bundles() {
+            let class = bundle.dataset.classify(bundle.dataset.median());
+            let system = trainer.train(bundle, &class, default_config(bundle.k, 6), &[], 0);
+            let a = auc_of(&system, &class);
+            assert!(a > 0.8, "{}: AUC {a}", bundle.name);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The three-dataset bundle every experiment runs on.
+
+use crate::experiments::scale::Scale;
+use dmf_datasets::abw::hps3_like;
+use dmf_datasets::dynamic::{harvard_like, HarvardConfig};
+use dmf_datasets::rtt::meridian_like;
+use dmf_datasets::{Dataset, DynamicTrace};
+
+/// One dataset plus its paper-default neighbor count.
+pub struct DatasetBundle {
+    /// Short name used in output rows ("Harvard", "Meridian", "HP-S3").
+    pub name: &'static str,
+    /// Ground-truth dataset.
+    pub dataset: Dataset,
+    /// Neighbor count `k` the paper uses for it.
+    pub k: usize,
+}
+
+/// The Harvard / Meridian / HP-S3 trio.
+pub struct Trio {
+    /// Harvard: dynamic RTTs; this is the median ground truth.
+    pub harvard: DatasetBundle,
+    /// The timestamped Harvard measurement stream.
+    pub harvard_trace: DynamicTrace,
+    /// Meridian: static RTTs.
+    pub meridian: DatasetBundle,
+    /// HP-S3: ABW.
+    pub hps3: DatasetBundle,
+}
+
+impl Trio {
+    /// Builds all three datasets at the given scale.
+    pub fn build(scale: &Scale, seed: u64) -> Self {
+        let (harvard_trace, harvard_gt) = harvard_like(
+            &HarvardConfig::new(scale.harvard_nodes, scale.harvard_measurements),
+            seed,
+        );
+        Self {
+            harvard: DatasetBundle {
+                name: "Harvard",
+                dataset: harvard_gt,
+                k: scale.k_harvard,
+            },
+            harvard_trace,
+            meridian: DatasetBundle {
+                name: "Meridian",
+                dataset: meridian_like(scale.meridian_nodes, seed + 1),
+                k: scale.k_meridian,
+            },
+            hps3: DatasetBundle {
+                name: "HP-S3",
+                dataset: hps3_like(scale.hps3_nodes, seed + 2),
+                k: scale.k_hps3,
+            },
+        }
+    }
+
+    /// The three bundles in paper order.
+    pub fn bundles(&self) -> [&DatasetBundle; 3] {
+        [&self.harvard, &self.meridian, &self.hps3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::Metric;
+
+    #[test]
+    fn builds_calibrated_trio() {
+        let trio = Trio::build(&Scale::quick(), 1);
+        assert_eq!(trio.harvard.dataset.metric, Metric::Rtt);
+        assert_eq!(trio.meridian.dataset.metric, Metric::Rtt);
+        assert_eq!(trio.hps3.dataset.metric, Metric::Abw);
+        assert!((trio.harvard.dataset.median() - 131.6).abs() < 1e-6);
+        assert!((trio.meridian.dataset.median() - 56.4).abs() < 1e-6);
+        assert!((trio.hps3.dataset.median() - 43.1).abs() < 1e-6);
+        assert_eq!(trio.harvard_trace.nodes, Scale::quick().harvard_nodes);
+    }
+}

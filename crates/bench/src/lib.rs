@@ -1,0 +1,24 @@
+//! # dmf-bench
+//!
+//! Experiment harness regenerating every table and figure of the
+//! DMFSGD paper, plus shared infrastructure for the Criterion
+//! micro-benchmarks.
+//!
+//! One binary per artifact (see `src/bin/`): each prints the same
+//! rows/series the paper reports and writes a JSON record for
+//! `EXPERIMENTS.md`. Absolute numbers differ (the substrate is a
+//! calibrated synthetic dataset, not the authors' testbed); the
+//! qualitative shape — who wins, where the plateaus and crossovers
+//! sit — is asserted by the binaries themselves where the paper makes
+//! a claim.
+//!
+//! The experiment index lives in `DESIGN.md` §5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::scale::Scale;
+pub use experiments::trio::{DatasetBundle, Trio};

@@ -1,0 +1,57 @@
+//! # dmf-core — DMFSGD
+//!
+//! The primary contribution of *"Decentralized Prediction of End-to-End
+//! Network Performance Classes"* (Liao, Du, Geurts, Leduc — CoNEXT
+//! 2011): **D**ecentralized **M**atrix **F**actorization by
+//! **S**tochastic **G**radient **D**escent.
+//!
+//! Every node `i` keeps two rank-`r` coordinate vectors `u_i` and
+//! `v_i`; the predicted performance measure from `i` to `j` is
+//! `x̂_ij = u_i · v_j`, and for class-based prediction its sign is the
+//! predicted class. Nodes probe only `k` random neighbors; each
+//! measurement triggers a constant-time local SGD step — no central
+//! server, no landmarks, no materialized matrix.
+//!
+//! Crate layout:
+//!
+//! * [`loss`] — the L2 / hinge / logistic loss functions and their
+//!   (sub)gradients (paper eqs. 14–19).
+//! * [`coords`] — node coordinates and the `u · v` predictor.
+//! * [`update`] — the SGD update rule shared by eqs. 9, 10, 12, 13.
+//! * [`node`] — per-node protocol state machines: Algorithm 1 (RTT,
+//!   symmetric, sender-inferred) and Algorithm 2 (ABW, asymmetric,
+//!   target-inferred).
+//! * [`config`] — hyper-parameters with the paper's defaults
+//!   (`r = 10`, `η = 0.1`, `λ = 0.1`, logistic loss).
+//! * [`provider`] — measurement sources: ground-truth class labels
+//!   (optionally error-injected), raw quantities, and simulated
+//!   pathload/pathchirp probes.
+//! * [`system`] — population-level driver replaying random-pair or
+//!   timestamp-ordered measurement schedules (the paper's evaluation
+//!   protocol).
+//! * [`runner`] — the same node logic driven through `dmf-simnet`
+//!   message passing with latency and loss, demonstrating the fully
+//!   decentralized operation.
+//! * [`multiclass`] — the paper's §7 future work implemented: ordinal
+//!   prediction of more than two performance classes via
+//!   immediate-threshold losses, degenerating exactly to the binary
+//!   formulation at `C = 2`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod coords;
+pub mod loss;
+pub mod multiclass;
+pub mod node;
+pub mod provider;
+pub mod runner;
+pub mod system;
+pub mod update;
+
+pub use config::{DmfsgdConfig, PredictionMode, SgdParams};
+pub use coords::Coordinates;
+pub use loss::Loss;
+pub use node::DmfsgdNode;
+pub use system::DmfsgdSystem;

@@ -1,0 +1,205 @@
+//! Per-node protocol state machines: Algorithm 1 (RTT) and
+//! Algorithm 2 (ABW).
+//!
+//! ```text
+//! Algorithm 1 — DMFSGD RTT (i, j)            Algorithm 2 — DMFSGD ABW (i, j)
+//! 1: i probes j for the RTT                  1: i probes j for the ABW and sends u_i
+//! 2: j sends u_j and v_j to i when probed    2: j infers x_ij when probed
+//! 3: i infers x_ij when receiving the reply  3: j sends x_ij and v_j to i
+//! 4: i updates u_i and v_i by eqs. 9, 10     4: j updates v_j by eq. 13
+//!                                            5: i updates u_i by eq. 12 on reply
+//! ```
+//!
+//! The handlers below are transport-agnostic: `dmf-core::system` calls
+//! them directly against an oracle, `dmf-core::runner` drives them over
+//! the `dmf-simnet` message network, and `dmf-agent` drives them over
+//! real UDP sockets. Note the ABW ordering subtlety: node `j` sends its
+//! *pre-update* `v_j` (step 3 precedes step 4), so node `i` trains
+//! against the same `v_j` that produced `x̂` at `j`.
+
+use crate::config::SgdParams;
+use crate::coords::Coordinates;
+use crate::update::sgd_step;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A DMFSGD protocol participant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DmfsgdNode {
+    /// Node identifier.
+    pub id: usize,
+    /// The node's coordinates `(u_i, v_i)`.
+    pub coords: Coordinates,
+    /// Number of measurements this node has processed.
+    pub updates: usize,
+}
+
+impl DmfsgdNode {
+    /// Creates a node with random coordinates (uniform `[0, 1)`).
+    pub fn new(id: usize, rank: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            id,
+            coords: Coordinates::random(rank, rng),
+            updates: 0,
+        }
+    }
+
+    /// Predicted measure from this node to `other`: `u_i · v_j`.
+    pub fn predict_to(&self, other: &DmfsgdNode) -> f64 {
+        self.coords.predict_to(&other.coords)
+    }
+
+    // ---- Algorithm 1 (RTT, symmetric, sender-inferred) --------------
+
+    /// Step 2 at node `j`: reply to an RTT probe with the local
+    /// coordinates.
+    pub fn rtt_reply(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.coords.u.clone(), self.coords.v.clone())
+    }
+
+    /// Steps 3–4 at node `i`: having measured `x_ij` and received
+    /// `(u_j, v_j)`, update `u_i` by eq. 9 and `v_i` by eq. 10.
+    pub fn on_rtt_measurement(
+        &mut self,
+        x_ij: f64,
+        u_j: &[f64],
+        v_j: &[f64],
+        params: &SgdParams,
+    ) {
+        // eq. 9: u_i ← (1−ηλ)u_i − η ∂l(x_ij, u_i·v_j)/∂u_i
+        sgd_step(&mut self.coords.u, v_j, x_ij, params);
+        // eq. 10: v_i ← (1−ηλ)v_i − η ∂l(x_ij, u_j·v_i)/∂v_i
+        // (uses x_ij = x_ji: symmetric RTT).
+        sgd_step(&mut self.coords.v, u_j, x_ij, params);
+        self.updates += 1;
+    }
+
+    // ---- Algorithm 2 (ABW, asymmetric, target-inferred) --------------
+
+    /// Steps 2–4 at the *target* node `j`: infer `x_ij` from the probe,
+    /// snapshot `v_j` for the reply (step 3 precedes step 4), then
+    /// update `v_j` by eq. 13 using the prober's `u_i`.
+    ///
+    /// Returns the `v_j` snapshot that must be sent back to node `i`.
+    pub fn on_abw_probe(&mut self, x_ij: f64, u_i: &[f64], params: &SgdParams) -> Vec<f64> {
+        let v_snapshot = self.coords.v.clone();
+        // eq. 13: v_j ← (1−ηλ)v_j − η ∂l(x_ij, u_i·v_j)/∂v_j
+        sgd_step(&mut self.coords.v, u_i, x_ij, params);
+        self.updates += 1;
+        v_snapshot
+    }
+
+    /// Step 5 at the *prober* node `i`: update `u_i` by eq. 12 with the
+    /// `(x_ij, v_j)` received from the target.
+    pub fn on_abw_reply(&mut self, x_ij: f64, v_j: &[f64], params: &SgdParams) {
+        // eq. 12: u_i ← (1−ηλ)u_i − η ∂l(x_ij, u_i·v_j)/∂u_i
+        sgd_step(&mut self.coords.u, v_j, x_ij, params);
+        self.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> SgdParams {
+        SgdParams {
+            eta: 0.1,
+            lambda: 0.1,
+            loss: Loss::Logistic,
+        }
+    }
+
+    fn two_nodes(rank: usize) -> (DmfsgdNode, DmfsgdNode) {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        (
+            DmfsgdNode::new(0, rank, &mut rng),
+            DmfsgdNode::new(1, rank, &mut rng),
+        )
+    }
+
+    #[test]
+    fn rtt_measurement_moves_prediction_toward_label() {
+        let (mut a, b) = two_nodes(10);
+        let (u_b, v_b) = b.rtt_reply();
+        let before = a.predict_to(&b);
+        for _ in 0..100 {
+            a.on_rtt_measurement(-1.0, &u_b, &v_b, &params());
+        }
+        let after = a.predict_to(&b);
+        assert!(after < before, "prediction must decrease toward x = -1");
+        assert!(after < 0.0, "sign must flip to the label, got {after}");
+        assert_eq!(a.updates, 100);
+    }
+
+    #[test]
+    fn rtt_updates_both_u_and_v() {
+        let (mut a, b) = two_nodes(6);
+        let u_before = a.coords.u.clone();
+        let v_before = a.coords.v.clone();
+        let (u_b, v_b) = b.rtt_reply();
+        a.on_rtt_measurement(1.0, &u_b, &v_b, &params());
+        assert_ne!(a.coords.u, u_before, "eq. 9 must touch u_i");
+        assert_ne!(a.coords.v, v_before, "eq. 10 must touch v_i");
+    }
+
+    #[test]
+    fn rtt_reply_does_not_mutate_target() {
+        let (_, b) = two_nodes(4);
+        let before = b.clone();
+        let _ = b.rtt_reply();
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn abw_probe_returns_pre_update_snapshot() {
+        let (a, mut b) = two_nodes(5);
+        let v_before = b.coords.v.clone();
+        let snapshot = b.on_abw_probe(1.0, &a.coords.u, &params());
+        assert_eq!(snapshot, v_before, "step 3 sends v_j before step 4 updates it");
+        assert_ne!(b.coords.v, v_before, "eq. 13 must update v_j");
+        assert_eq!(b.updates, 1);
+    }
+
+    #[test]
+    fn abw_exchange_converges_to_label_sign() {
+        let (mut a, mut b) = two_nodes(8);
+        for _ in 0..150 {
+            // Full Algorithm-2 exchange with x_ij = -1.
+            let v_snapshot = b.on_abw_probe(-1.0, &a.coords.u, &params());
+            a.on_abw_reply(-1.0, &v_snapshot, &params());
+        }
+        assert!(
+            a.predict_to(&b) < 0.0,
+            "u_a · v_b must converge to the negative label, got {}",
+            a.predict_to(&b)
+        );
+    }
+
+    #[test]
+    fn abw_reply_only_touches_u() {
+        let (mut a, b) = two_nodes(5);
+        let v_before = a.coords.v.clone();
+        a.on_abw_reply(1.0, &b.coords.v, &params());
+        assert_eq!(a.coords.v, v_before, "eq. 12 must not touch v_i");
+    }
+
+    #[test]
+    fn symmetric_pair_training_converges_both_directions() {
+        // Train i→j with Algorithm 1 on x = +1 from both endpoints;
+        // both directional predictions should become positive.
+        let (mut a, mut b) = two_nodes(10);
+        let p = params();
+        for _ in 0..100 {
+            let (u_b, v_b) = b.rtt_reply();
+            a.on_rtt_measurement(1.0, &u_b, &v_b, &p);
+            let (u_a, v_a) = a.rtt_reply();
+            b.on_rtt_measurement(1.0, &u_a, &v_a, &p);
+        }
+        assert!(a.predict_to(&b) > 0.0);
+        assert!(b.predict_to(&a) > 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Measurement providers: where training values come from.
+//!
+//! The system driver ([`crate::system`]) is agnostic to how a
+//! measurement is produced. Three sources cover the paper's
+//! experiments:
+//!
+//! * [`ClassLabelProvider`] — labels read from a (possibly
+//!   error-injected) [`ClassMatrix`]; this is the paper's main
+//!   evaluation path, where the measurement module is assumed to have
+//!   produced the class matrix up front.
+//! * [`QuantityProvider`] — raw quantities scaled to unit magnitude;
+//!   used by quantity-based (regression) prediction in §6.4.
+//! * [`ProbedClassProvider`] — classes measured *on the fly* by the
+//!   simulated tools of `dmf-simnet` (ping+threshold for RTT,
+//!   pathload-style train for ABW), exercising the cheap direct class
+//!   measurement the paper advocates in §3.2.
+
+use dmf_datasets::{ClassMatrix, Dataset, Metric};
+use dmf_simnet::probe::{PathloadProber, RttProber};
+use rand::RngCore;
+
+/// A source of training values `x` for node pairs.
+pub trait MeasurementProvider {
+    /// The value `x_ij` fed to SGD for pair `(i, j)`; `None` when the
+    /// pair cannot be measured (missing ground truth).
+    fn measure(&mut self, i: usize, j: usize, rng: &mut dyn RngCore) -> Option<f64>;
+
+    /// The metric being measured (decides Algorithm 1 vs Algorithm 2).
+    fn metric(&self) -> Metric;
+
+    /// Number of nodes covered.
+    fn len(&self) -> usize;
+
+    /// True when the provider covers no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Labels straight from a class matrix.
+pub struct ClassLabelProvider {
+    class: ClassMatrix,
+}
+
+impl ClassLabelProvider {
+    /// Wraps a class matrix (use `dmf_simnet::errors::inject` first to
+    /// model erroneous measurements).
+    pub fn new(class: ClassMatrix) -> Self {
+        Self { class }
+    }
+
+    /// Access to the wrapped matrix.
+    pub fn class_matrix(&self) -> &ClassMatrix {
+        &self.class
+    }
+}
+
+impl MeasurementProvider for ClassLabelProvider {
+    fn measure(&mut self, i: usize, j: usize, _rng: &mut dyn RngCore) -> Option<f64> {
+        self.class.label(i, j)
+    }
+
+    fn metric(&self) -> Metric {
+        self.class.metric
+    }
+
+    fn len(&self) -> usize {
+        self.class.len()
+    }
+}
+
+/// Raw quantities divided by a fixed scale.
+pub struct QuantityProvider {
+    dataset: Dataset,
+    scale: f64,
+}
+
+impl QuantityProvider {
+    /// Wraps a dataset; `scale` should be of the order of the dataset
+    /// median so SGD sees values near 1.
+    pub fn new(dataset: Dataset, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        Self { dataset, scale }
+    }
+
+    /// The scale divisor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl MeasurementProvider for QuantityProvider {
+    fn measure(&mut self, i: usize, j: usize, _rng: &mut dyn RngCore) -> Option<f64> {
+        self.dataset.value(i, j).map(|v| v / self.scale)
+    }
+
+    fn metric(&self) -> Metric {
+        self.dataset.metric
+    }
+
+    fn len(&self) -> usize {
+        self.dataset.len()
+    }
+}
+
+/// Classes measured on the fly by simulated probing tools.
+pub struct ProbedClassProvider {
+    dataset: Dataset,
+    tau: f64,
+    rtt_prober: RttProber,
+    abw_prober: PathloadProber,
+}
+
+impl ProbedClassProvider {
+    /// Probes `dataset` at threshold/rate `tau` with default tool
+    /// noise profiles.
+    pub fn new(dataset: Dataset, tau: f64) -> Self {
+        assert!(tau > 0.0, "tau must be positive");
+        Self {
+            dataset,
+            tau,
+            rtt_prober: RttProber::default(),
+            abw_prober: PathloadProber::default(),
+        }
+    }
+
+    /// Overrides the tool noise models.
+    pub fn with_probers(mut self, rtt: RttProber, abw: PathloadProber) -> Self {
+        self.rtt_prober = rtt;
+        self.abw_prober = abw;
+        self
+    }
+}
+
+impl MeasurementProvider for ProbedClassProvider {
+    fn measure(&mut self, i: usize, j: usize, rng: &mut dyn RngCore) -> Option<f64> {
+        match self.dataset.metric {
+            Metric::Rtt => {
+                let rtt = self.rtt_prober.measure(&self.dataset, i, j, rng)?;
+                Some(Metric::Rtt.classify(rtt, self.tau))
+            }
+            Metric::Abw => self
+                .abw_prober
+                .probe_class(&self.dataset, i, j, self.tau, rng),
+        }
+    }
+
+    fn metric(&self) -> Metric {
+        self.dataset.metric
+    }
+
+    fn len(&self) -> usize {
+        self.dataset.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::abw::hps3_like;
+    use dmf_datasets::rtt::meridian_like;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn class_provider_returns_labels() {
+        let d = meridian_like(20, 1);
+        let tau = d.median();
+        let cm = d.classify(tau);
+        let mut p = ClassLabelProvider::new(cm.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for (i, j) in cm.mask.iter_known().take(50) {
+            assert_eq!(p.measure(i, j, &mut rng), cm.label(i, j));
+        }
+        assert_eq!(p.measure(0, 0, &mut rng), None);
+        assert_eq!(p.metric(), Metric::Rtt);
+        assert_eq!(p.len(), 20);
+    }
+
+    #[test]
+    fn quantity_provider_scales() {
+        let d = meridian_like(10, 2);
+        let median = d.median();
+        let v01 = d.values[(0, 1)];
+        let mut p = QuantityProvider::new(d, median);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = p.measure(0, 1, &mut rng).unwrap();
+        assert!((x - v01 / median).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probed_rtt_classes_mostly_match_truth() {
+        let d = meridian_like(40, 3);
+        let tau = d.median();
+        let truth = d.classify(tau);
+        let mut p = ProbedClassProvider::new(d, tau);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut agree = 0;
+        let mut total = 0;
+        for (i, j) in truth.mask.iter_known() {
+            let x = p.measure(i, j, &mut rng).unwrap();
+            assert!(x == 1.0 || x == -1.0);
+            total += 1;
+            if Some(x) == truth.label(i, j) {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.9, "probe agreement {rate} too low");
+        assert!(rate < 1.0, "probing should not be perfectly noise-free");
+    }
+
+    #[test]
+    fn probed_abw_classes_sane() {
+        let d = hps3_like(40, 4);
+        let tau = d.median();
+        let truth = d.classify(tau);
+        let mut p = ProbedClassProvider::new(d, tau);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut agree = 0;
+        let mut total = 0;
+        for (i, j) in truth.mask.iter_known() {
+            let Some(x) = p.measure(i, j, &mut rng) else { continue };
+            total += 1;
+            if Some(x) == truth.label(i, j) {
+                agree += 1;
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.85);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn quantity_scale_validated() {
+        QuantityProvider::new(meridian_like(5, 5), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Population-level driver: the paper's evaluation protocol.
+//!
+//! "Each node randomly and independently chooses a neighbor set of k
+//! nodes as references and randomly probes one of its neighbors at
+//! each time" (§5.3). [`DmfsgdSystem`] replays exactly that schedule —
+//! either as random pair draws (Meridian, HP-S3 "used in random
+//! order") or following the timestamps of a dynamic trace (Harvard,
+//! "used in time order").
+//!
+//! The driver calls the node handlers of [`crate::node`]; it never
+//! builds a matrix for training. `predicted_scores` materializes the
+//! estimate matrix only for *evaluation*, mirroring how the paper's
+//! simulations compute ROC/AUC after the fact.
+
+use crate::config::{DmfsgdConfig, PredictionMode};
+use crate::node::DmfsgdNode;
+use crate::provider::MeasurementProvider;
+use dmf_datasets::{DynamicTrace, Metric};
+use dmf_linalg::Matrix;
+use dmf_simnet::NeighborSets;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A running DMFSGD population.
+pub struct DmfsgdSystem {
+    config: DmfsgdConfig,
+    nodes: Vec<DmfsgdNode>,
+    neighbors: NeighborSets,
+    rng: ChaCha8Rng,
+    measurements: usize,
+}
+
+impl DmfsgdSystem {
+    /// Creates `n` nodes with random coordinates and random neighbor
+    /// sets of size `config.k`.
+    pub fn new(n: usize, config: DmfsgdConfig) -> Self {
+        config.validate();
+        assert!(n > config.k, "need more nodes than neighbors (n={n}, k={})", config.k);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let nodes = (0..n).map(|i| DmfsgdNode::new(i, config.rank, &mut rng)).collect();
+        let neighbors = NeighborSets::random(n, config.k, &mut rng);
+        Self {
+            config,
+            nodes,
+            neighbors,
+            rng,
+            measurements: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DmfsgdConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the system has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, i: usize) -> &DmfsgdNode {
+        &self.nodes[i]
+    }
+
+    /// The neighbor sets in force.
+    pub fn neighbors(&self) -> &NeighborSets {
+        &self.neighbors
+    }
+
+    /// Total measurements processed so far.
+    pub fn measurements_used(&self) -> usize {
+        self.measurements
+    }
+
+    /// Average measurements per node — the x-axis of the paper's
+    /// convergence plot (Figure 5c).
+    pub fn avg_measurements_per_node(&self) -> f64 {
+        self.measurements as f64 / self.nodes.len() as f64
+    }
+
+    /// Raw predictor output `u_i · v_j` (the score whose sign is the
+    /// predicted class; peer selection ranks this directly).
+    pub fn raw_score(&self, i: usize, j: usize) -> f64 {
+        self.nodes[i].predict_to(&self.nodes[j])
+    }
+
+    /// Predicted measure in natural units: for class mode this is the
+    /// raw score; for quantity mode the score is scaled back to
+    /// ms/Mbps.
+    pub fn predict(&self, i: usize, j: usize) -> f64 {
+        match self.config.mode {
+            PredictionMode::Class => self.raw_score(i, j),
+            PredictionMode::Quantity { value_scale } => self.raw_score(i, j) * value_scale,
+        }
+    }
+
+    /// Materializes all pairwise raw scores (diagonal zeroed) for
+    /// evaluation.
+    pub fn predicted_scores(&self) -> Matrix {
+        let n = self.len();
+        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { self.raw_score(i, j) })
+    }
+
+    /// Processes one measurement for the ordered pair `(i, j)` through
+    /// the proper algorithm. Returns false when the pair could not be
+    /// measured.
+    pub fn process_pair(&mut self, i: usize, j: usize, provider: &mut dyn MeasurementProvider) -> bool {
+        assert!(i < self.len() && j < self.len(), "node id out of range");
+        assert_ne!(i, j, "cannot measure the self-pair");
+        let Some(x) = provider.measure(i, j, &mut self.rng) else {
+            return false;
+        };
+        self.apply_measurement(i, j, x, provider.metric());
+        true
+    }
+
+    /// Applies an already-obtained measurement value (used by the
+    /// trace replay and by the simnet/UDP runners, which measure
+    /// through their own transport).
+    pub fn apply_measurement(&mut self, i: usize, j: usize, x: f64, metric: Metric) {
+        let params = self.config.sgd;
+        if metric.is_symmetric() {
+            // Algorithm 1: the reply carries (u_j, v_j); node i updates.
+            let (u_j, v_j) = self.nodes[j].rtt_reply();
+            self.nodes[i].on_rtt_measurement(x, &u_j, &v_j, &params);
+        } else {
+            // Algorithm 2: node j infers x and updates v_j, node i
+            // updates u_i with the pre-update v_j snapshot.
+            let u_i = self.nodes[i].coords.u.clone();
+            let v_snapshot = self.nodes[j].on_abw_probe(x, &u_i, &params);
+            self.nodes[i].on_abw_reply(x, &v_snapshot, &params);
+        }
+        self.measurements += 1;
+    }
+
+    /// One protocol tick: a random node probes a random neighbor.
+    /// Returns false when the drawn pair was unmeasurable.
+    pub fn tick(&mut self, provider: &mut dyn MeasurementProvider) -> bool {
+        let i = self.rng.gen_range(0..self.len());
+        let j = self.neighbors.sample_neighbor(i, &mut self.rng);
+        self.process_pair(i, j, provider)
+    }
+
+    /// Runs `count` ticks (unmeasurable draws still consume a tick, as
+    /// a failed probe consumes a probing slot in practice).
+    pub fn run(&mut self, count: usize, provider: &mut dyn MeasurementProvider) {
+        assert_eq!(
+            provider.len(),
+            self.len(),
+            "provider covers {} nodes, system has {}",
+            provider.len(),
+            self.len()
+        );
+        for _ in 0..count {
+            self.tick(provider);
+        }
+    }
+
+    /// Replays a dynamic trace in timestamp order (the Harvard
+    /// protocol): each measurement `(t, i, j, value)` is classified at
+    /// `tau` (class mode) or scaled (quantity mode) and applied at
+    /// node `i` via Algorithm 1.
+    pub fn run_trace(&mut self, trace: &DynamicTrace, tau: f64) {
+        assert_eq!(trace.nodes, self.len(), "trace/system size mismatch");
+        assert!(trace.is_time_ordered(), "trace must be time-ordered");
+        for m in &trace.measurements {
+            let x = match self.config.mode {
+                PredictionMode::Class => trace.metric.classify(m.value, tau),
+                PredictionMode::Quantity { value_scale } => m.value / value_scale,
+            };
+            self.apply_measurement(m.from, m.to, x, trace.metric);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{ClassLabelProvider, QuantityProvider};
+    use dmf_datasets::abw::hps3_like;
+    use dmf_datasets::dynamic::{harvard_like, HarvardConfig};
+    use dmf_datasets::rtt::meridian_like;
+
+    /// Fraction of observed pairs whose predicted sign matches the
+    /// label (a cheap stand-in for AUC inside unit tests).
+    fn sign_accuracy(system: &DmfsgdSystem, class: &dmf_datasets::ClassMatrix) -> f64 {
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for (i, j) in class.mask.iter_known() {
+            total += 1;
+            let predicted = if system.raw_score(i, j) >= 0.0 { 1.0 } else { -1.0 };
+            if Some(predicted) == class.label(i, j) {
+                ok += 1;
+            }
+        }
+        ok as f64 / total as f64
+    }
+
+    #[test]
+    fn rtt_class_training_beats_chance_quickly() {
+        let d = meridian_like(60, 1);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm.clone());
+        let mut sys = DmfsgdSystem::new(60, DmfsgdConfig::paper_defaults());
+        sys.run(60 * 200, &mut provider);
+        let acc = sign_accuracy(&sys, &cm);
+        assert!(acc > 0.75, "accuracy {acc} too low after training");
+    }
+
+    #[test]
+    fn abw_class_training_beats_chance_quickly() {
+        let d = hps3_like(60, 2);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm.clone());
+        let mut sys = DmfsgdSystem::new(60, DmfsgdConfig::paper_defaults());
+        sys.run(60 * 200, &mut provider);
+        let acc = sign_accuracy(&sys, &cm);
+        assert!(acc > 0.7, "accuracy {acc} too low after ABW training");
+    }
+
+    #[test]
+    fn training_improves_over_initialization() {
+        let d = meridian_like(50, 3);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm.clone());
+        let mut sys = DmfsgdSystem::new(50, DmfsgdConfig::paper_defaults());
+        let before = sign_accuracy(&sys, &cm);
+        sys.run(50 * 150, &mut provider);
+        let after = sign_accuracy(&sys, &cm);
+        assert!(after > before + 0.1, "no improvement: {before} → {after}");
+    }
+
+    #[test]
+    fn quantity_mode_orders_pairs() {
+        // Regression mode must rank close pairs below far pairs
+        // (Spearman-ish check on a handful of extremes).
+        let d = meridian_like(50, 4);
+        let median = d.median();
+        let values = d.values.clone();
+        let mut provider = QuantityProvider::new(d, median);
+        let cfg = DmfsgdConfig::paper_defaults().quantity(median);
+        let mut sys = DmfsgdSystem::new(50, cfg);
+        sys.run(50 * 300, &mut provider);
+        // Correlation between predicted and true values over observed pairs.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..50 {
+            for j in 0..50 {
+                if i != j {
+                    xs.push(values[(i, j)]);
+                    ys.push(sys.predict(i, j));
+                }
+            }
+        }
+        let mx = dmf_linalg::stats::mean(&xs);
+        let my = dmf_linalg::stats::mean(&ys);
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            cov += (x - mx) * (y - my);
+            vx += (x - mx) * (x - mx);
+            vy += (y - my) * (y - my);
+        }
+        let corr = cov / (vx.sqrt() * vy.sqrt());
+        assert!(corr > 0.5, "regression correlation {corr} too weak");
+    }
+
+    #[test]
+    fn trace_replay_trains_in_time_order() {
+        let cfg = HarvardConfig::new(40, 40_000);
+        let (trace, gt) = harvard_like(&cfg, 5);
+        let tau = gt.median();
+        let cm = gt.classify(tau);
+        let mut sys = DmfsgdSystem::new(40, DmfsgdConfig::paper_defaults());
+        sys.run_trace(&trace, tau);
+        assert_eq!(sys.measurements_used(), trace.len());
+        let acc = sign_accuracy(&sys, &cm);
+        assert!(acc > 0.7, "trace-trained accuracy {acc}");
+    }
+
+    #[test]
+    fn measurement_counting() {
+        let d = meridian_like(30, 6);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm);
+        let mut sys = DmfsgdSystem::new(30, DmfsgdConfig::paper_defaults());
+        sys.run(90, &mut provider);
+        assert_eq!(sys.measurements_used(), 90);
+        assert!((sys.avg_measurements_per_node() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_scores_shape_and_diagonal() {
+        let sys = DmfsgdSystem::new(12, DmfsgdConfig::paper_defaults());
+        let scores = sys.predicted_scores();
+        assert_eq!(scores.shape(), (12, 12));
+        for i in 0..12 {
+            assert_eq!(scores[(i, i)], 0.0);
+        }
+        assert_eq!(scores[(0, 1)], sys.raw_score(0, 1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = meridian_like(30, 7);
+        let cm = d.classify(d.median());
+        let run = || {
+            let mut provider = ClassLabelProvider::new(cm.clone());
+            let mut sys = DmfsgdSystem::new(30, DmfsgdConfig::paper_defaults());
+            sys.run(500, &mut provider);
+            sys.predicted_scores()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than neighbors")]
+    fn k_too_large_rejected() {
+        DmfsgdSystem::new(5, DmfsgdConfig::paper_defaults());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pair")]
+    fn self_pair_rejected() {
+        let d = meridian_like(20, 8);
+        let mut provider = ClassLabelProvider::new(d.classify(d.median()));
+        let mut sys = DmfsgdSystem::new(20, DmfsgdConfig::paper_defaults());
+        sys.process_pair(3, 3, &mut provider);
+    }
+}

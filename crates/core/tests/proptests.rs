@@ -1,0 +1,124 @@
+//! Property-based tests for the DMFSGD update machinery.
+
+use dmf_core::config::SgdParams;
+use dmf_core::coords::dot;
+use dmf_core::multiclass::OrdinalClassifier;
+use dmf_core::update::{local_objective, sgd_step};
+use dmf_core::Loss;
+use proptest::prelude::*;
+
+fn coords(rank: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, rank..=rank)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn loss_values_nonnegative(
+        x in prop_oneof![Just(1.0f64), Just(-1.0f64)],
+        xhat in -50.0f64..50.0,
+    ) {
+        for loss in [Loss::L2, Loss::Hinge, Loss::Logistic] {
+            prop_assert!(loss.value(x, xhat) >= 0.0);
+            prop_assert!(loss.value(x, xhat).is_finite());
+            prop_assert!(loss.gradient_factor(x, xhat).is_finite());
+        }
+    }
+
+    #[test]
+    fn gradient_sign_pushes_toward_label(
+        x in prop_oneof![Just(1.0f64), Just(-1.0f64)],
+        xhat in -5.0f64..5.0,
+    ) {
+        // For classification losses, g·x ≤ 0: the step −η·g·v moves x̂
+        // toward the sign of x (or not at all when the margin is met).
+        for loss in [Loss::Hinge, Loss::Logistic] {
+            let g = loss.gradient_factor(x, xhat);
+            prop_assert!(g * x <= 1e-12, "{loss:?}: g={g} x={x}");
+        }
+    }
+
+    #[test]
+    fn small_step_never_increases_smooth_objective(
+        updated in coords(6),
+        fixed in coords(6),
+        x in prop_oneof![Just(1.0f64), Just(-1.0f64)],
+    ) {
+        for loss in [Loss::L2, Loss::Logistic] {
+            let p = SgdParams { eta: 0.005, lambda: 0.1, loss };
+            let mut u = updated.clone();
+            let before = local_objective(&u, &fixed, x, &p);
+            sgd_step(&mut u, &fixed, x, &p);
+            let after = local_objective(&u, &fixed, x, &p);
+            prop_assert!(
+                after <= before + 1e-9,
+                "{loss:?}: {before} → {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_training_fits_the_label(
+        mut updated in coords(8),
+        fixed in coords(8),
+        x in prop_oneof![Just(1.0f64), Just(-1.0f64)],
+    ) {
+        // Skip degenerate fixed vectors (no gradient direction).
+        let norm = dot(&fixed, &fixed);
+        prop_assume!(norm > 0.05);
+        let p = SgdParams { eta: 0.1, lambda: 0.01, loss: Loss::Logistic };
+        for _ in 0..400 {
+            sgd_step(&mut updated, &fixed, x, &p);
+        }
+        let xhat = dot(&updated, &fixed);
+        prop_assert!(xhat * x > 0.0, "failed to fit: x={x}, x̂={xhat}");
+    }
+
+    #[test]
+    fn shrinkage_bounds_coordinate_growth(
+        mut updated in coords(5),
+        fixed in coords(5),
+        x in prop_oneof![Just(1.0f64), Just(-1.0f64)],
+    ) {
+        // With η=λ=0.1 the norm stays bounded: ‖u‖ ≤ max(‖u₀‖, η‖v‖/(ηλ)).
+        let p = SgdParams { eta: 0.1, lambda: 0.1, loss: Loss::Logistic };
+        let v_norm = dot(&fixed, &fixed).sqrt();
+        let bound = dot(&updated, &updated).sqrt().max(v_norm / 0.1) + 1.0;
+        for _ in 0..200 {
+            sgd_step(&mut updated, &fixed, x, &p);
+            let norm = dot(&updated, &updated).sqrt();
+            prop_assert!(norm <= bound, "norm {norm} escaped bound {bound}");
+        }
+    }
+
+    #[test]
+    fn ordinal_classifier_consistent(
+        classes in 2usize..8,
+        score in -10.0f64..10.0,
+    ) {
+        let clf = OrdinalClassifier::equally_spaced(classes, Loss::Logistic);
+        let predicted = clf.predict_class(score);
+        prop_assert!((1..=classes).contains(&predicted));
+        // The predicted class is (weakly) the cheapest under the loss
+        // among all classes — up to boundary ties.
+        let own_loss = clf.loss_value(predicted, score);
+        for c in 1..=classes {
+            prop_assert!(
+                own_loss <= clf.loss_value(c, score) + 1e-9,
+                "class {c} cheaper than predicted {predicted} at score {score}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordinal_prediction_monotone_in_score(
+        classes in 2usize..8,
+        s1 in -10.0f64..10.0,
+        s2 in -10.0f64..10.0,
+    ) {
+        let clf = OrdinalClassifier::equally_spaced(classes, Loss::Logistic);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(clf.predict_class(lo) <= clf.predict_class(hi));
+    }
+}

@@ -1,0 +1,137 @@
+//! Performance metrics and their orientation.
+//!
+//! The paper treats RTT and ABW uniformly *after* classification, but
+//! the two metrics point in opposite directions: a path is "good" when
+//! its RTT is **below** the threshold `τ`, or when its ABW is **above**
+//! it. [`Metric`] carries that orientation (plus the measurement
+//! symmetry, which drives the choice between Algorithm 1 and
+//! Algorithm 2) so the rest of the workspace never hard-codes a
+//! direction.
+
+use serde::{Deserialize, Serialize};
+
+/// An end-to-end performance metric.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Metric {
+    /// Round-trip time in milliseconds. Lower is better; measurements
+    /// are symmetric and inferred by the *sender* (paper §3.1.1).
+    Rtt,
+    /// Available bandwidth in Mbps. Higher is better; measurements are
+    /// asymmetric and inferred by the *target* (paper §3.1.2).
+    Abw,
+}
+
+impl Metric {
+    /// True when smaller values mean better performance.
+    pub fn lower_is_better(self) -> bool {
+        matches!(self, Metric::Rtt)
+    }
+
+    /// True when pairwise measurements can be treated as symmetric
+    /// (`x_ij = x_ji`), which enables the RTT update rules (eqs. 9–10).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, Metric::Rtt)
+    }
+
+    /// Classifies a raw quantity against threshold `tau`:
+    /// `+1.0` ("good") or `-1.0` ("bad").
+    ///
+    /// Values exactly at `tau` count as good for both metrics, matching
+    /// the "is the performance good *enough*" framing.
+    pub fn classify(self, value: f64, tau: f64) -> f64 {
+        let good = match self {
+            Metric::Rtt => value <= tau,
+            Metric::Abw => value >= tau,
+        };
+        if good {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The percentile of the value distribution whose threshold yields
+    /// the requested fraction of "good" paths.
+    ///
+    /// For RTT, a 10 % good-portion needs the 10th percentile (only the
+    /// fastest tenth is good); for ABW it needs the 90th percentile
+    /// (only the highest tenth is good). This is exactly how the
+    /// paper's Table 1 maps portions to `τ` values.
+    pub fn percentile_for_good_portion(self, portion: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&portion),
+            "good portion must be in [0,1], got {portion}"
+        );
+        match self {
+            Metric::Rtt => portion * 100.0,
+            Metric::Abw => (1.0 - portion) * 100.0,
+        }
+    }
+
+    /// Is `candidate` strictly better than `reference` under this metric?
+    pub fn better(self, candidate: f64, reference: f64) -> bool {
+        match self {
+            Metric::Rtt => candidate < reference,
+            Metric::Abw => candidate > reference,
+        }
+    }
+
+    /// Unit label used in harness output (`ms` / `Mbps`).
+    pub fn unit(self) -> &'static str {
+        match self {
+            Metric::Rtt => "ms",
+            Metric::Abw => "Mbps",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation() {
+        assert!(Metric::Rtt.lower_is_better());
+        assert!(!Metric::Abw.lower_is_better());
+        assert!(Metric::Rtt.is_symmetric());
+        assert!(!Metric::Abw.is_symmetric());
+    }
+
+    #[test]
+    fn classify_rtt() {
+        assert_eq!(Metric::Rtt.classify(50.0, 100.0), 1.0);
+        assert_eq!(Metric::Rtt.classify(150.0, 100.0), -1.0);
+        assert_eq!(Metric::Rtt.classify(100.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn classify_abw() {
+        assert_eq!(Metric::Abw.classify(50.0, 10.0), 1.0);
+        assert_eq!(Metric::Abw.classify(5.0, 10.0), -1.0);
+        assert_eq!(Metric::Abw.classify(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_mapping_matches_table1_convention() {
+        // 10% good RTT → 10th percentile; 10% good ABW → 90th percentile.
+        assert_eq!(Metric::Rtt.percentile_for_good_portion(0.10), 10.0);
+        assert_eq!(Metric::Abw.percentile_for_good_portion(0.10), 90.0);
+        assert_eq!(Metric::Rtt.percentile_for_good_portion(0.50), 50.0);
+        assert_eq!(Metric::Abw.percentile_for_good_portion(0.50), 50.0);
+    }
+
+    #[test]
+    fn better_is_strict() {
+        assert!(Metric::Rtt.better(10.0, 20.0));
+        assert!(!Metric::Rtt.better(20.0, 10.0));
+        assert!(!Metric::Rtt.better(10.0, 10.0));
+        assert!(Metric::Abw.better(20.0, 10.0));
+        assert!(!Metric::Abw.better(10.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "good portion")]
+    fn portion_validated() {
+        Metric::Rtt.percentile_for_good_portion(1.2);
+    }
+}

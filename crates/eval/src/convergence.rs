@@ -1,0 +1,105 @@
+//! Convergence tracking (paper Figure 5c).
+//!
+//! The paper plots AUC against "the average measurement number per
+//! node, i.e. the total number of measurements used by all nodes
+//! divided by the number of nodes", and observes convergence after no
+//! more than `20 × k` measurements per node.
+
+use serde::{Deserialize, Serialize};
+
+/// One convergence sample.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Average measurements consumed per node so far.
+    pub avg_measurements_per_node: f64,
+    /// AUC at that point.
+    pub auc: f64,
+}
+
+/// Accumulates an AUC-vs-measurements series.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConvergenceTracker {
+    points: Vec<ConvergencePoint>,
+}
+
+impl ConvergenceTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Samples must arrive in increasing
+    /// measurement order.
+    pub fn record(&mut self, avg_measurements_per_node: f64, auc: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                avg_measurements_per_node >= last.avg_measurements_per_node,
+                "convergence samples must be recorded in measurement order"
+            );
+        }
+        assert!((0.0..=1.0).contains(&auc), "AUC {auc} out of [0,1]");
+        self.points.push(ConvergencePoint {
+            avg_measurements_per_node,
+            auc,
+        });
+    }
+
+    /// The recorded series.
+    pub fn points(&self) -> &[ConvergencePoint] {
+        &self.points
+    }
+
+    /// The last AUC recorded, if any.
+    pub fn final_auc(&self) -> Option<f64> {
+        self.points.last().map(|p| p.auc)
+    }
+
+    /// The measurement budget at which the AUC first reached `target`
+    /// (the paper's "converges after ~20×k" observation).
+    pub fn measurements_to_reach(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.auc >= target)
+            .map(|p| p.avg_measurements_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = ConvergenceTracker::new();
+        t.record(0.0, 0.5);
+        t.record(10.0, 0.8);
+        t.record(20.0, 0.93);
+        assert_eq!(t.points().len(), 3);
+        assert_eq!(t.final_auc(), Some(0.93));
+        assert_eq!(t.measurements_to_reach(0.8), Some(10.0));
+        assert_eq!(t.measurements_to_reach(0.99), None);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = ConvergenceTracker::new();
+        assert!(t.points().is_empty());
+        assert_eq!(t.final_auc(), None);
+        assert_eq!(t.measurements_to_reach(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement order")]
+    fn out_of_order_rejected() {
+        let mut t = ConvergenceTracker::new();
+        t.record(10.0, 0.7);
+        t.record(5.0, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn auc_range_checked() {
+        let mut t = ConvergenceTracker::new();
+        t.record(0.0, 1.5);
+    }
+}

@@ -1,0 +1,294 @@
+//! Peer-selection evaluation (paper §6.4, Figure 7).
+//!
+//! Each node owns a peer set (disjoint from its training neighbors)
+//! and must pick one peer to interact with. Two criteria:
+//!
+//! * **Optimality** — the *stretch* `s_i = x_i• / x_i◦`, where `•` is
+//!   the selected peer and `◦` the true best peer of the set; > 1 for
+//!   RTT, < 1 for ABW, closer to 1 is better.
+//! * **Satisfaction** — the percentage of *unsatisfied* nodes: nodes
+//!   that selected a "bad" peer although a "good" peer existed in
+//!   their set. Nodes whose peer set contains no good peer are
+//!   excluded (no satisfactory choice exists for them).
+//!
+//! Selection strategies mirror the paper: class-based prediction picks
+//! the largest raw score `x̂_ij` ("without taking its sign or
+//! thresholding it"); quantity-based prediction picks the best
+//! predicted metric value; random picks uniformly.
+
+use dmf_datasets::{Dataset, Metric};
+use dmf_linalg::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a node picks a peer from its peer set.
+#[derive(Clone, Copy, Debug)]
+pub enum SelectionStrategy<'a> {
+    /// Class-based: highest predictor score `x̂_ij = u_i · v_j`.
+    HighestScore(&'a Matrix),
+    /// Quantity-based: best predicted quantity under the metric
+    /// (smallest for RTT, largest for ABW).
+    BestPredictedQuantity(&'a Matrix, Metric),
+    /// Uniform random choice (the paper's baseline).
+    Random,
+}
+
+/// Aggregate outcome of a peer-selection experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeerSelectionOutcome {
+    /// Mean stretch over nodes with a usable peer set.
+    pub avg_stretch: f64,
+    /// Fraction of unsatisfied nodes among nodes that had at least one
+    /// good peer available.
+    pub unsatisfied_fraction: f64,
+    /// Nodes contributing to the stretch average.
+    pub stretch_nodes: usize,
+    /// Nodes contributing to the satisfaction denominator.
+    pub satisfaction_nodes: usize,
+}
+
+/// Runs peer selection for every node and aggregates the two criteria.
+///
+/// `tau` classifies ground-truth quantities into good/bad for the
+/// satisfaction criterion. Peers whose ground-truth quantity is
+/// unobserved are ignored (they cannot be scored as outcomes).
+pub fn evaluate_peer_selection(
+    dataset: &Dataset,
+    tau: f64,
+    peer_sets: &[Vec<usize>],
+    strategy: SelectionStrategy<'_>,
+    rng: &mut (impl Rng + ?Sized),
+) -> PeerSelectionOutcome {
+    let n = dataset.len();
+    assert_eq!(peer_sets.len(), n, "one peer set per node required");
+
+    let mut stretch_sum = 0.0;
+    let mut stretch_nodes = 0usize;
+    let mut unsatisfied = 0usize;
+    let mut satisfaction_nodes = 0usize;
+
+    for (i, peers) in peer_sets.iter().enumerate() {
+        // Keep peers with observed ground truth; selection can only be
+        // judged on pairs whose outcome is known.
+        let usable: Vec<usize> = peers
+            .iter()
+            .copied()
+            .filter(|&p| p != i && dataset.value(i, p).is_some())
+            .collect();
+        if usable.is_empty() {
+            continue;
+        }
+
+        let selected = match strategy {
+            SelectionStrategy::HighestScore(scores) => {
+                assert_eq!(scores.shape(), (n, n), "score matrix shape mismatch");
+                *usable
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        scores[(i, a)]
+                            .partial_cmp(&scores[(i, b)])
+                            .expect("NaN score")
+                    })
+                    .expect("non-empty usable set")
+            }
+            SelectionStrategy::BestPredictedQuantity(pred, metric) => {
+                assert_eq!(pred.shape(), (n, n), "prediction matrix shape mismatch");
+                *usable
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        // "better" quantity wins: invert comparison for RTT.
+                        let (x, y) = (pred[(i, a)], pred[(i, b)]);
+                        if metric.lower_is_better() {
+                            y.partial_cmp(&x).expect("NaN prediction")
+                        } else {
+                            x.partial_cmp(&y).expect("NaN prediction")
+                        }
+                    })
+                    .expect("non-empty usable set")
+            }
+            SelectionStrategy::Random => usable[rng.gen_range(0..usable.len())],
+        };
+
+        // True best peer under the metric.
+        let best = *usable
+            .iter()
+            .max_by(|&&a, &&b| {
+                let (x, y) = (
+                    dataset.value(i, a).expect("filtered"),
+                    dataset.value(i, b).expect("filtered"),
+                );
+                if dataset.metric.lower_is_better() {
+                    y.partial_cmp(&x).expect("NaN value")
+                } else {
+                    x.partial_cmp(&y).expect("NaN value")
+                }
+            })
+            .expect("non-empty usable set");
+
+        let x_selected = dataset.value(i, selected).expect("filtered");
+        let x_best = dataset.value(i, best).expect("filtered");
+        if x_best > 0.0 {
+            stretch_sum += x_selected / x_best;
+            stretch_nodes += 1;
+        }
+
+        // Satisfaction criterion.
+        let any_good = usable
+            .iter()
+            .any(|&p| dataset.metric.classify(dataset.value(i, p).expect("filtered"), tau) > 0.0);
+        if any_good {
+            satisfaction_nodes += 1;
+            let selected_good = dataset.metric.classify(x_selected, tau) > 0.0;
+            if !selected_good {
+                unsatisfied += 1;
+            }
+        }
+    }
+
+    PeerSelectionOutcome {
+        avg_stretch: if stretch_nodes > 0 {
+            stretch_sum / stretch_nodes as f64
+        } else {
+            f64::NAN
+        },
+        unsatisfied_fraction: if satisfaction_nodes > 0 {
+            unsatisfied as f64 / satisfaction_nodes as f64
+        } else {
+            0.0
+        },
+        stretch_nodes,
+        satisfaction_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::rtt::meridian_like;
+    use dmf_linalg::Mask;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Oracle scores: negative RTT, so HighestScore picks the true best.
+    fn oracle_scores(d: &Dataset) -> Matrix {
+        let n = d.len();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                -d.values[(i, j)]
+            }
+        })
+    }
+
+    #[test]
+    fn oracle_selection_has_unit_stretch_and_full_satisfaction() {
+        let d = meridian_like(40, 1);
+        let tau = d.median();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let peer_sets: Vec<Vec<usize>> = (0..40)
+            .map(|i| (0..40).filter(|&p| p != i).take(10).collect())
+            .collect();
+        let scores = oracle_scores(&d);
+        let out = evaluate_peer_selection(
+            &d,
+            tau,
+            &peer_sets,
+            SelectionStrategy::HighestScore(&scores),
+            &mut rng,
+        );
+        assert!((out.avg_stretch - 1.0).abs() < 1e-12);
+        assert_eq!(out.unsatisfied_fraction, 0.0);
+        assert_eq!(out.stretch_nodes, 40);
+    }
+
+    #[test]
+    fn random_selection_is_worse_than_oracle() {
+        let d = meridian_like(60, 2);
+        let tau = d.median();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let peer_sets: Vec<Vec<usize>> = (0..60)
+            .map(|i| (0..60).filter(|&p| p != i).take(20).collect())
+            .collect();
+        let rnd = evaluate_peer_selection(&d, tau, &peer_sets, SelectionStrategy::Random, &mut rng);
+        assert!(rnd.avg_stretch > 1.3, "random stretch {}", rnd.avg_stretch);
+        assert!(
+            rnd.unsatisfied_fraction > 0.2,
+            "random unsatisfied {}",
+            rnd.unsatisfied_fraction
+        );
+    }
+
+    #[test]
+    fn quantity_oracle_matches_score_oracle() {
+        let d = meridian_like(30, 3);
+        let tau = d.median();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let peer_sets: Vec<Vec<usize>> = (0..30)
+            .map(|i| (0..30).filter(|&p| p != i).take(8).collect())
+            .collect();
+        let pred = d.values.clone(); // perfect quantity prediction
+        let out = evaluate_peer_selection(
+            &d,
+            tau,
+            &peer_sets,
+            SelectionStrategy::BestPredictedQuantity(&pred, Metric::Rtt),
+            &mut rng,
+        );
+        assert!((out.avg_stretch - 1.0).abs() < 1e-12);
+        assert_eq!(out.unsatisfied_fraction, 0.0);
+    }
+
+    #[test]
+    fn nodes_without_good_peers_excluded_from_satisfaction() {
+        // Two nodes, peer values far above tau → no good peers at all.
+        let values = dmf_linalg::Matrix::from_rows(&[
+            &[0.0, 500.0, 600.0],
+            &[500.0, 0.0, 700.0],
+            &[600.0, 700.0, 0.0],
+        ]);
+        let d = Dataset::new("toy", Metric::Rtt, values, Mask::full_off_diagonal(3));
+        let peer_sets = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let out =
+            evaluate_peer_selection(&d, 100.0, &peer_sets, SelectionStrategy::Random, &mut rng);
+        assert_eq!(out.satisfaction_nodes, 0);
+        assert_eq!(out.unsatisfied_fraction, 0.0);
+        assert_eq!(out.stretch_nodes, 3); // stretch still defined
+    }
+
+    #[test]
+    fn unobserved_peers_skipped() {
+        let values = dmf_linalg::Matrix::from_rows(&[
+            &[0.0, 10.0, 0.0],
+            &[10.0, 0.0, 20.0],
+            &[0.0, 20.0, 0.0],
+        ]);
+        let mut mask = Mask::full_off_diagonal(3);
+        mask.set(0, 2, false);
+        mask.set(2, 0, false);
+        let d = Dataset::new("sparse", Metric::Rtt, values, mask);
+        // Node 0's peer set contains an unobserved pair (2): only peer 1
+        // remains usable, stretch must be 1.
+        let peer_sets = vec![vec![1, 2], vec![], vec![]];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let out =
+            evaluate_peer_selection(&d, 15.0, &peer_sets, SelectionStrategy::Random, &mut rng);
+        assert_eq!(out.stretch_nodes, 1);
+        assert!((out.avg_stretch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abw_stretch_below_one() {
+        // For ABW the selected/best ratio is ≤ 1.
+        let d = dmf_datasets::abw::hps3_like(30, 6);
+        let tau = d.median();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let peer_sets: Vec<Vec<usize>> = (0..30)
+            .map(|i| (0..30).filter(|&p| p != i).take(10).collect())
+            .collect();
+        let out = evaluate_peer_selection(&d, tau, &peer_sets, SelectionStrategy::Random, &mut rng);
+        assert!(out.avg_stretch <= 1.0 + 1e-12, "ABW stretch {}", out.avg_stretch);
+        assert!(out.avg_stretch > 0.0);
+    }
+}

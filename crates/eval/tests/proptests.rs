@@ -1,0 +1,102 @@
+//! Property-based tests for the evaluation criteria.
+
+use dmf_eval::pr::pr_curve;
+use dmf_eval::roc::{auc_from_curve, auc_mann_whitney, roc_curve};
+use dmf_eval::ScoredLabel;
+use proptest::prelude::*;
+
+/// A strategy producing sample sets containing both classes.
+fn mixed_samples() -> impl Strategy<Value = Vec<ScoredLabel>> {
+    (
+        proptest::collection::vec((-100.0f64..100.0), 1..40),
+        proptest::collection::vec((-100.0f64..100.0), 1..40),
+    )
+        .prop_map(|(pos, neg)| {
+            let mut v: Vec<ScoredLabel> = pos
+                .into_iter()
+                .map(|score| ScoredLabel { positive: true, score })
+                .collect();
+            v.extend(neg.into_iter().map(|score| ScoredLabel {
+                positive: false,
+                score,
+            }));
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn auc_in_unit_interval(samples in mixed_samples()) {
+        let a = auc_mann_whitney(&samples);
+        prop_assert!((0.0..=1.0).contains(&a), "AUC {a}");
+    }
+
+    #[test]
+    fn trapezoid_matches_mann_whitney(samples in mixed_samples()) {
+        let a1 = auc_mann_whitney(&samples);
+        let a2 = auc_from_curve(&roc_curve(&samples));
+        prop_assert!((a1 - a2).abs() < 1e-9, "mw {a1} vs trapezoid {a2}");
+    }
+
+    #[test]
+    fn auc_flips_under_score_negation(samples in mixed_samples()) {
+        let a = auc_mann_whitney(&samples);
+        let negated: Vec<ScoredLabel> = samples
+            .iter()
+            .map(|s| ScoredLabel { positive: s.positive, score: -s.score })
+            .collect();
+        let b = auc_mann_whitney(&negated);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform(samples in mixed_samples()) {
+        let a = auc_mann_whitney(&samples);
+        let squashed: Vec<ScoredLabel> = samples
+            .iter()
+            .map(|s| ScoredLabel {
+                positive: s.positive,
+                // Positive affine map is strictly increasing (and,
+                // unlike saturating maps such as tanh, never collapses
+                // distinct scores at f64 precision) → ranking preserved.
+                score: s.score * 0.5 + 10.0,
+            })
+            .collect();
+        let b = auc_mann_whitney(&squashed);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn roc_curve_is_monotone_staircase(samples in mixed_samples()) {
+        let curve = roc_curve(&samples);
+        prop_assert!(curve.len() >= 2);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+        let last = curve.last().unwrap();
+        prop_assert!((last.fpr - 1.0).abs() < 1e-12);
+        prop_assert!((last.tpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_recall_monotone_and_bounded(samples in mixed_samples()) {
+        let curve = pr_curve(&samples);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].recall >= w[0].recall - 1e-12);
+        }
+        for p in &curve {
+            prop_assert!((0.0..=1.0).contains(&p.precision));
+            prop_assert!((0.0..=1.0).contains(&p.recall));
+        }
+    }
+
+    #[test]
+    fn confusion_counts_are_exhaustive(samples in mixed_samples(), threshold in -50.0f64..50.0) {
+        let cm = dmf_eval::ConfusionMatrix::at_threshold(&samples, threshold);
+        prop_assert_eq!(cm.total(), samples.len());
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+    }
+}

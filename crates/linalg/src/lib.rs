@@ -1,0 +1,39 @@
+//! # dmf-linalg
+//!
+//! Dense linear-algebra substrate for the DMFSGD reproduction.
+//!
+//! The DMFSGD paper (Liao et al., CoNEXT 2011) relies on the empirical
+//! observation that pairwise network-performance matrices have *low
+//! effective rank* (its Figure 1), and its centralized baselines require
+//! factorizing such matrices directly. This crate provides everything
+//! those analyses need, built from scratch on `std`:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the small set of
+//!   operations the project needs (transpose, matmul, norms, maps).
+//! * [`Mask`] — an observation mask marking which entries of a pairwise
+//!   measurement matrix are known (diagonals are never observed; real
+//!   datasets have missing entries).
+//! * [`svd`] — singular value decomposition: an exact one-sided Jacobi
+//!   SVD for small/medium matrices and a randomized subspace iteration
+//!   for the top-k spectrum of large matrices (Figure 1 uses a
+//!   2255 × 2255 RTT matrix).
+//! * [`decomp`] — QR (modified Gram–Schmidt), low-rank truncation and
+//!   effective-rank utilities.
+//! * [`stats`] — percentiles, medians and the scalar statistics used
+//!   throughout the evaluation, plus Box–Muller normal sampling (the
+//!   `rand` crate alone does not ship a normal distribution).
+//!
+//! Everything is deterministic given a seed; the crate has no global
+//! state and no interior mutability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod mask;
+pub mod matrix;
+pub mod stats;
+pub mod svd;
+
+pub use mask::Mask;
+pub use matrix::Matrix;

@@ -1,0 +1,128 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use dmf_linalg::decomp::{effective_rank, normalized_spectrum, qr};
+use dmf_linalg::stats::{percentile, percentile_of_sorted};
+use dmf_linalg::svd::jacobi_svd;
+use dmf_linalg::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_right(m in small_matrix(8)) {
+        let id = Matrix::identity(m.cols());
+        let prod = m.matmul(&id);
+        prop_assert!(prod.sub(&m).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn frobenius_norm_nonnegative_and_zero_only_for_zero(m in small_matrix(6)) {
+        let norm = m.frobenius_norm();
+        prop_assert!(norm >= 0.0);
+        if norm == 0.0 {
+            prop_assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_sorted_and_nonnegative(m in small_matrix(7)) {
+        let svd = jacobi_svd(&m);
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_reconstructs(m in small_matrix(7)) {
+        let svd = jacobi_svd(&m);
+        let err = svd.reconstruct().sub(&m).frobenius_norm();
+        let scale = m.frobenius_norm().max(1.0);
+        prop_assert!(err / scale < 1e-7, "relative reconstruction error {}", err / scale);
+    }
+
+    #[test]
+    fn svd_largest_singular_value_bounds_frobenius(m in small_matrix(6)) {
+        // σ₁ ≤ ‖A‖_F ≤ sqrt(p)·σ₁
+        let svd = jacobi_svd(&m);
+        let s1 = svd.singular_values[0];
+        let fro = m.frobenius_norm();
+        let p = svd.singular_values.len() as f64;
+        prop_assert!(s1 <= fro + 1e-9);
+        prop_assert!(fro <= p.sqrt() * s1 + 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstruction(m in small_matrix(6)) {
+        let (q, r) = qr(&m);
+        let err = q.matmul(&r).sub(&m).frobenius_norm();
+        let scale = m.frobenius_norm().max(1.0);
+        prop_assert!(err / scale < 1e-8);
+    }
+
+    #[test]
+    fn normalized_spectrum_in_unit_interval(
+        sv in proptest::collection::vec(0.0f64..1e6, 1..20)
+    ) {
+        let mut sorted = sv.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let spec = normalized_spectrum(&sorted);
+        prop_assert!(spec.iter().all(|&s| (0.0..=1.0 + 1e-12).contains(&s)));
+    }
+
+    #[test]
+    fn effective_rank_monotone_in_energy(
+        sv in proptest::collection::vec(0.01f64..100.0, 1..15)
+    ) {
+        let mut sorted = sv.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let r_low = effective_rank(&sorted, 0.5);
+        let r_high = effective_rank(&sorted, 0.99);
+        prop_assert!(r_low <= r_high);
+        prop_assert!(r_high <= sorted.len());
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..50),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_range(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..50),
+        p in 0.0f64..100.0,
+    ) {
+        let v = percentile(&values, p);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn percentile_of_sorted_agrees(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..50),
+        p in 0.0f64..100.0,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(percentile(&values, p), percentile_of_sorted(&sorted, p));
+    }
+}

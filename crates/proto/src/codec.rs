@@ -1,0 +1,442 @@
+//! Encoding and decoding of protocol messages.
+//!
+//! Every decode path is total: malformed, truncated, corrupted or
+//! hostile datagrams produce a [`DecodeError`], never a panic or an
+//! unbounded allocation. This mirrors the fault-injection discipline
+//! of production TCP/IP stacks (cf. the smoltcp examples, which ship
+//! `--corrupt-chance` switches precisely to exercise these paths).
+
+use crate::message::Message;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol magic (little-endian on the wire).
+pub const MAGIC: u16 = 0xD3F5;
+/// Protocol version this crate speaks.
+pub const VERSION: u8 = 1;
+/// Upper bound on coordinate rank accepted from the network.
+pub const MAX_RANK: usize = 256;
+/// Header length in bytes (magic + version + type + payload_len).
+pub const HEADER_LEN: usize = 8;
+/// Trailing checksum length.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Why a datagram was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Shorter than header + checksum.
+    TooShort,
+    /// Magic mismatch.
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion,
+    /// Unknown message type tag.
+    BadType,
+    /// Header length field disagrees with the datagram size.
+    LengthMismatch,
+    /// FNV-1a checksum mismatch (corruption).
+    BadChecksum,
+    /// Payload shorter than its own fields claim.
+    TruncatedPayload,
+    /// Coordinate rank of 0 or above [`MAX_RANK`].
+    BadRank,
+    /// Non-finite float, or a class label other than ±1.
+    BadValue,
+    /// Payload longer than its fields account for.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DecodeError::TooShort => "datagram too short",
+            DecodeError::BadMagic => "bad magic",
+            DecodeError::BadVersion => "unsupported version",
+            DecodeError::BadType => "unknown message type",
+            DecodeError::LengthMismatch => "length field mismatch",
+            DecodeError::BadChecksum => "checksum mismatch",
+            DecodeError::TruncatedPayload => "truncated payload",
+            DecodeError::BadRank => "coordinate rank out of bounds",
+            DecodeError::BadValue => "invalid field value",
+            DecodeError::TrailingBytes => "trailing bytes after payload",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a 32-bit over a byte slice.
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in data {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+fn put_coords(buf: &mut BytesMut, coords: &[f64]) {
+    buf.put_u16_le(coords.len() as u16);
+    for &c in coords {
+        buf.put_f64_le(c);
+    }
+}
+
+/// Encodes a message into a standalone datagram.
+///
+/// # Panics
+/// Panics if a coordinate vector exceeds [`MAX_RANK`] (an internal
+/// programming error, not a network condition).
+pub fn encode(msg: &Message) -> Bytes {
+    let check_rank = |coords: &[f64]| {
+        assert!(
+            (1..=MAX_RANK).contains(&coords.len()),
+            "coordinate rank {} outside 1..={MAX_RANK}",
+            coords.len()
+        );
+    };
+
+    let mut payload = BytesMut::with_capacity(64);
+    match msg {
+        Message::RttProbe { nonce } => {
+            payload.put_u64_le(*nonce);
+        }
+        Message::RttReply { nonce, u, v } => {
+            check_rank(u);
+            check_rank(v);
+            payload.put_u64_le(*nonce);
+            put_coords(&mut payload, u);
+            put_coords(&mut payload, v);
+        }
+        Message::AbwProbe { nonce, rate_mbps, u } => {
+            check_rank(u);
+            payload.put_u64_le(*nonce);
+            payload.put_f64_le(*rate_mbps);
+            put_coords(&mut payload, u);
+        }
+        Message::AbwReply { nonce, x, v } => {
+            check_rank(v);
+            payload.put_u64_le(*nonce);
+            payload.put_f64_le(*x);
+            put_coords(&mut payload, v);
+        }
+    }
+
+    let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.put_u16_le(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(msg.type_tag());
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let checksum = fnv1a(&out);
+    out.put_u32_le(checksum);
+    out.freeze()
+}
+
+fn get_coords(buf: &mut &[u8]) -> Result<Vec<f64>, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::TruncatedPayload);
+    }
+    let rank = buf.get_u16_le() as usize;
+    if rank == 0 || rank > MAX_RANK {
+        return Err(DecodeError::BadRank);
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(DecodeError::TruncatedPayload);
+    }
+    let mut coords = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let value = buf.get_f64_le();
+        if !value.is_finite() {
+            return Err(DecodeError::BadValue);
+        }
+        coords.push(value);
+    }
+    Ok(coords)
+}
+
+/// Decodes a datagram.
+pub fn decode(datagram: &[u8]) -> Result<Message, DecodeError> {
+    if datagram.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(DecodeError::TooShort);
+    }
+    let (body, checksum_bytes) = datagram.split_at(datagram.len() - CHECKSUM_LEN);
+    let mut check = checksum_bytes;
+    let expected = check.get_u32_le();
+    if fnv1a(body) != expected {
+        return Err(DecodeError::BadChecksum);
+    }
+
+    let mut header = body;
+    let magic = header.get_u16_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = header.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion);
+    }
+    let type_tag = header.get_u8();
+    let payload_len = header.get_u32_le() as usize;
+    if payload_len != header.len() {
+        return Err(DecodeError::LengthMismatch);
+    }
+    let mut payload = header;
+
+    let need_u64 = |payload: &mut &[u8]| -> Result<u64, DecodeError> {
+        if payload.remaining() < 8 {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        Ok(payload.get_u64_le())
+    };
+    let need_f64 = |payload: &mut &[u8]| -> Result<f64, DecodeError> {
+        if payload.remaining() < 8 {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        let v = payload.get_f64_le();
+        if !v.is_finite() {
+            return Err(DecodeError::BadValue);
+        }
+        Ok(v)
+    };
+
+    let msg = match type_tag {
+        1 => Message::RttProbe {
+            nonce: need_u64(&mut payload)?,
+        },
+        2 => {
+            let nonce = need_u64(&mut payload)?;
+            let u = get_coords(&mut payload)?;
+            let v = get_coords(&mut payload)?;
+            if u.len() != v.len() {
+                return Err(DecodeError::BadRank);
+            }
+            Message::RttReply { nonce, u, v }
+        }
+        3 => {
+            let nonce = need_u64(&mut payload)?;
+            let rate_mbps = need_f64(&mut payload)?;
+            if rate_mbps <= 0.0 {
+                return Err(DecodeError::BadValue);
+            }
+            let u = get_coords(&mut payload)?;
+            Message::AbwProbe { nonce, rate_mbps, u }
+        }
+        4 => {
+            let nonce = need_u64(&mut payload)?;
+            let x = need_f64(&mut payload)?;
+            if x != 1.0 && x != -1.0 {
+                return Err(DecodeError::BadValue);
+            }
+            let v = get_coords(&mut payload)?;
+            Message::AbwReply { nonce, x, v }
+        }
+        _ => return Err(DecodeError::BadType),
+    };
+
+    if payload.has_remaining() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::RttProbe { nonce: 42 },
+            Message::RttReply {
+                nonce: 43,
+                u: vec![0.1, -0.2, 3.5],
+                v: vec![1.0, 2.0, -0.5],
+            },
+            Message::AbwProbe {
+                nonce: 44,
+                rate_mbps: 43.1,
+                u: vec![0.9; 10],
+            },
+            Message::AbwReply {
+                nonce: 45,
+                x: -1.0,
+                v: vec![-2.0, 0.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for msg in sample_messages() {
+            let wire = encode(&msg);
+            let back = decode(&wire).expect("roundtrip");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn golden_rtt_probe_layout() {
+        let wire = encode(&Message::RttProbe { nonce: 0x0102_0304_0506_0708 });
+        // magic LE
+        assert_eq!(&wire[0..2], &[0xF5, 0xD3]);
+        assert_eq!(wire[2], VERSION);
+        assert_eq!(wire[3], 1); // type
+        assert_eq!(&wire[4..8], &8u32.to_le_bytes()); // payload length
+        assert_eq!(&wire[8..16], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(wire.len(), HEADER_LEN + 8 + CHECKSUM_LEN);
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let wire = encode(&Message::RttReply {
+            nonce: 7,
+            u: vec![1.0, 2.0],
+            v: vec![3.0, 4.0],
+        });
+        for len in 0..wire.len() {
+            assert!(
+                decode(&wire[..len]).is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_single_byte_corruption() {
+        let wire = encode(&Message::AbwReply {
+            nonce: 9,
+            x: 1.0,
+            v: vec![0.25, -0.75],
+        });
+        for pos in 0..wire.len() {
+            let mut corrupted = wire.to_vec();
+            corrupted[pos] ^= 0xFF;
+            let result = decode(&corrupted);
+            assert!(
+                result.is_err(),
+                "flipping byte {pos} must be detected, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_type() {
+        let wire = encode(&Message::RttProbe { nonce: 1 }).to_vec();
+        let refresh = |mut w: Vec<u8>| {
+            let n = w.len() - CHECKSUM_LEN;
+            let c = fnv1a(&w[..n]);
+            let idx = n;
+            w[idx..].copy_from_slice(&c.to_le_bytes());
+            w
+        };
+        let mut bad_magic = wire.clone();
+        bad_magic[0] = 0;
+        assert_eq!(decode(&refresh(bad_magic)), Err(DecodeError::BadMagic));
+        let mut bad_version = wire.clone();
+        bad_version[2] = 9;
+        assert_eq!(decode(&refresh(bad_version)), Err(DecodeError::BadVersion));
+        let mut bad_type = wire.clone();
+        bad_type[3] = 200;
+        assert_eq!(decode(&refresh(bad_type)), Err(DecodeError::BadType));
+    }
+
+    #[test]
+    fn rejects_invalid_class_label() {
+        let wire = encode(&Message::AbwReply {
+            nonce: 1,
+            x: 1.0,
+            v: vec![0.5],
+        })
+        .to_vec();
+        // Patch x (payload offset 8) to 0.5 and refresh the checksum.
+        let mut patched = wire;
+        let x_off = HEADER_LEN + 8;
+        patched[x_off..x_off + 8].copy_from_slice(&0.5f64.to_le_bytes());
+        let n = patched.len() - CHECKSUM_LEN;
+        let c = fnv1a(&patched[..n]);
+        patched[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode(&patched), Err(DecodeError::BadValue));
+    }
+
+    #[test]
+    fn rejects_nan_coordinates() {
+        let wire = encode(&Message::RttReply {
+            nonce: 1,
+            u: vec![1.0],
+            v: vec![2.0],
+        })
+        .to_vec();
+        // u[0] sits at payload offset 8 (nonce) + 2 (rank).
+        let mut patched = wire;
+        let off = HEADER_LEN + 10;
+        patched[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        let n = patched.len() - CHECKSUM_LEN;
+        let c = fnv1a(&patched[..n]);
+        patched[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode(&patched), Err(DecodeError::BadValue));
+    }
+
+    #[test]
+    fn rejects_oversized_rank() {
+        let wire = encode(&Message::AbwProbe {
+            nonce: 1,
+            rate_mbps: 10.0,
+            u: vec![1.0],
+        })
+        .to_vec();
+        // Rank field sits at payload offset 8 + 8.
+        let mut patched = wire;
+        let off = HEADER_LEN + 16;
+        patched[off..off + 2].copy_from_slice(&(MAX_RANK as u16 + 1).to_le_bytes());
+        let n = patched.len() - CHECKSUM_LEN;
+        let c = fnv1a(&patched[..n]);
+        patched[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode(&patched), Err(DecodeError::BadRank));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut extended = encode(&Message::RttProbe { nonce: 3 }).to_vec();
+        // Append a byte inside the payload region and fix both the
+        // length field and the checksum.
+        let insert_at = extended.len() - CHECKSUM_LEN;
+        extended.insert(insert_at, 0xAB);
+        let payload_len = (extended.len() - HEADER_LEN - CHECKSUM_LEN) as u32;
+        extended[4..8].copy_from_slice(&payload_len.to_le_bytes());
+        let n = extended.len() - CHECKSUM_LEN;
+        let c = fnv1a(&extended[..n]);
+        extended[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode(&extended), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate rank")]
+    fn encode_rejects_empty_coords() {
+        encode(&Message::RttReply {
+            nonce: 1,
+            u: vec![],
+            v: vec![],
+        });
+    }
+
+    #[test]
+    fn mismatched_uv_ranks_rejected() {
+        // Hand-craft a RttReply with rank(u)=1, rank(v)=2.
+        let mut payload = BytesMut::new();
+        payload.put_u64_le(5);
+        payload.put_u16_le(1);
+        payload.put_f64_le(1.0);
+        payload.put_u16_le(2);
+        payload.put_f64_le(2.0);
+        payload.put_f64_le(3.0);
+        let mut out = BytesMut::new();
+        out.put_u16_le(MAGIC);
+        out.put_u8(VERSION);
+        out.put_u8(2);
+        out.put_u32_le(payload.len() as u32);
+        out.extend_from_slice(&payload);
+        let c = fnv1a(&out);
+        out.put_u32_le(c);
+        assert_eq!(decode(&out), Err(DecodeError::BadRank));
+    }
+}

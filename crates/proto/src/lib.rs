@@ -1,0 +1,33 @@
+//! # dmf-proto
+//!
+//! Binary wire protocol for DMFSGD probe/coordinate exchange.
+//!
+//! The paper's protocol needs exactly four datagrams (its Algorithms 1
+//! and 2); this crate defines their on-the-wire form so the UDP
+//! deployment in `dmf-agent` — and any future real deployment — has a
+//! versioned, checksummed, bounds-checked codec instead of ad-hoc
+//! serialization.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +-------+---------+------+-------------+~~~~~~~~~+----------+
+//! | magic | version | type | payload_len | payload | checksum |
+//! |  u16  |   u8    |  u8  |     u32     |  bytes  |   u32    |
+//! +-------+---------+------+-------------+~~~~~~~~~+----------+
+//! ```
+//!
+//! The checksum is FNV-1a over everything before it. Coordinates are
+//! encoded as a `u16` rank followed by `rank` f64 values; rank is
+//! bounded by [`codec::MAX_RANK`] so a hostile datagram cannot make a
+//! node allocate unbounded memory — malformed input of any kind
+//! produces a typed [`codec::DecodeError`], never a panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod message;
+
+pub use codec::{decode, encode, DecodeError};
+pub use message::Message;

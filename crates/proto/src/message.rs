@@ -1,0 +1,93 @@
+//! Protocol messages (the datagrams of Algorithms 1 and 2).
+
+/// A DMFSGD protocol message.
+///
+/// `nonce` pairs replies with probes (UDP may reorder, duplicate or
+/// drop datagrams); coordinates travel as plain f64 vectors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Algorithm 1, step 1: RTT probe.
+    RttProbe {
+        /// Correlates the reply with this probe.
+        nonce: u64,
+    },
+    /// Algorithm 1, step 2: the target returns its coordinates.
+    RttReply {
+        /// Echo of the probe nonce.
+        nonce: u64,
+        /// `u_j` of the replying node.
+        u: Vec<f64>,
+        /// `v_j` of the replying node.
+        v: Vec<f64>,
+    },
+    /// Algorithm 2, step 1: ABW probe carrying the prober's `u_i` and
+    /// the probe rate (the class threshold `τ`).
+    AbwProbe {
+        /// Correlates the reply with this probe.
+        nonce: u64,
+        /// Probe rate in Mbps.
+        rate_mbps: f64,
+        /// `u_i` of the probing node.
+        u: Vec<f64>,
+    },
+    /// Algorithm 2, step 3: the target returns the measured class and
+    /// its pre-update `v_j`.
+    AbwReply {
+        /// Echo of the probe nonce.
+        nonce: u64,
+        /// Measured class: `+1.0` or `−1.0`.
+        x: f64,
+        /// `v_j` snapshot of the replying node.
+        v: Vec<f64>,
+    },
+}
+
+impl Message {
+    /// The wire type tag of this message.
+    pub fn type_tag(&self) -> u8 {
+        match self {
+            Message::RttProbe { .. } => 1,
+            Message::RttReply { .. } => 2,
+            Message::AbwProbe { .. } => 3,
+            Message::AbwReply { .. } => 4,
+        }
+    }
+
+    /// The nonce carried by any message kind.
+    pub fn nonce(&self) -> u64 {
+        match self {
+            Message::RttProbe { nonce }
+            | Message::RttReply { nonce, .. }
+            | Message::AbwProbe { nonce, .. }
+            | Message::AbwReply { nonce, .. } => *nonce,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags_distinct() {
+        let msgs = [
+            Message::RttProbe { nonce: 1 },
+            Message::RttReply { nonce: 1, u: vec![], v: vec![] },
+            Message::AbwProbe { nonce: 1, rate_mbps: 1.0, u: vec![] },
+            Message::AbwReply { nonce: 1, x: 1.0, v: vec![] },
+        ];
+        let mut tags: Vec<u8> = msgs.iter().map(|m| m.type_tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 4);
+    }
+
+    #[test]
+    fn nonce_accessor() {
+        assert_eq!(Message::RttProbe { nonce: 99 }.nonce(), 99);
+        assert_eq!(
+            Message::AbwReply { nonce: 7, x: -1.0, v: vec![1.0] }.nonce(),
+            7
+        );
+    }
+}

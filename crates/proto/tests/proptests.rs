@@ -1,0 +1,80 @@
+//! Property-based fuzzing of the wire codec.
+
+use dmf_proto::{decode, encode, Message};
+use proptest::prelude::*;
+
+fn coords(max_rank: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..=max_rank)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|nonce| Message::RttProbe { nonce }),
+        (any::<u64>(), coords(32)).prop_map(|(nonce, u)| {
+            let v = u.iter().map(|x| x * 0.5 - 1.0).collect();
+            Message::RttReply { nonce, u, v }
+        }),
+        (any::<u64>(), 0.001f64..1e4, coords(32)).prop_map(|(nonce, rate_mbps, u)| {
+            Message::AbwProbe { nonce, rate_mbps, u }
+        }),
+        (any::<u64>(), any::<bool>(), coords(32)).prop_map(|(nonce, good, v)| {
+            Message::AbwReply {
+                nonce,
+                x: if good { 1.0 } else { -1.0 },
+                v,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let wire = encode(&msg);
+        prop_assert_eq!(decode(&wire), Ok(msg));
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Any result is acceptable; panicking or hanging is not.
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_essentially_never_decode(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // With a 32-bit checksum and magic, random noise must not parse.
+        prop_assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn corruption_detected(msg in arb_message(), pos_seed in any::<usize>(), flip in 1u8..=255) {
+        let wire = encode(&msg).to_vec();
+        let pos = pos_seed % wire.len();
+        let mut corrupted = wire.clone();
+        corrupted[pos] ^= flip;
+        // Either detected as an error — or, astronomically unlikely,
+        // decodes to something different; it must never decode to a
+        // *wrong equal* message silently.
+        match decode(&corrupted) {
+            Err(_) => {}
+            Ok(m) => prop_assert_ne!(m, decode(&wire).unwrap()),
+        }
+    }
+
+    #[test]
+    fn truncation_detected(msg in arb_message(), cut in 1usize..64) {
+        let wire = encode(&msg);
+        let keep = wire.len().saturating_sub(cut);
+        prop_assert!(decode(&wire[..keep]).is_err());
+    }
+
+    #[test]
+    fn encoded_size_is_linear_in_rank(rank in 1usize..=64) {
+        let msg = Message::AbwReply { nonce: 1, x: 1.0, v: vec![0.5; rank] };
+        let wire = encode(&msg);
+        // header(8) + nonce(8) + x(8) + rank(2) + 8·rank + checksum(4)
+        prop_assert_eq!(wire.len(), 8 + 8 + 8 + 2 + 8 * rank + 4);
+    }
+}

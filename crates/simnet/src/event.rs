@@ -1,0 +1,207 @@
+//! Deterministic future-event list.
+//!
+//! A binary-heap priority queue keyed by simulated time with a
+//! monotonically increasing sequence number breaking ties, so that two
+//! events scheduled for the same instant are delivered in scheduling
+//! order. Determinism matters: every experiment in the harness is
+//! reproducible from a seed, and a nondeterministic event order would
+//! leak scheduling noise into the published numbers.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in seconds since simulation start.
+pub type SimTime = f64;
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the
+        // earliest (time, seq) on top.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("NaN simulation time")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, insertion order)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event
+    /// (0 before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is NaN or lies in the past (before [`now`]).
+    ///
+    /// [`now`]: EventQueue::now
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(!at.is_nan(), "cannot schedule at NaN time");
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time: at, seq, event });
+    }
+
+    /// Schedules `event` after a relative `delay`.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule_at(4.5, ());
+        q.pop();
+        assert_eq!(q.now(), 4.5);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, "first");
+        q.pop();
+        q.schedule_after(3.0, "second");
+        assert_eq!(q.pop(), Some((5.0, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, ());
+        q.pop();
+        q.schedule_at(5.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(7.0, 1);
+        q.schedule_at(6.0, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(6.0));
+    }
+
+    #[test]
+    fn interleaved_scheduling_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, 1);
+        q.schedule_at(10.0, 4);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        q.schedule_at(2.0, 2);
+        q.schedule_at(5.0, 3);
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((5.0, 3)));
+        assert_eq!(q.pop(), Some((10.0, 4)));
+    }
+}

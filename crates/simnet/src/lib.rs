@@ -1,0 +1,35 @@
+//! # dmf-simnet
+//!
+//! Discrete-event network simulation substrate for the DMFSGD
+//! reproduction.
+//!
+//! The paper evaluates its decentralized protocol by replaying
+//! measurements in simulation; this crate makes the simulation explicit
+//! and reusable:
+//!
+//! * [`event`] — a deterministic future-event list (time-ordered,
+//!   FIFO-stable for ties).
+//! * [`net`] — [`net::SimNet`], a message-passing network whose one-way
+//!   delays derive from an RTT ground truth, with optional packet loss
+//!   (fault injection in the spirit of the smoltcp examples).
+//! * [`probe`] — measurement tools: a ping-style RTT prober, a
+//!   pathload-style binary ABW class prober (UDP train at rate `τ`:
+//!   congestion or not), and a pathchirp-style coarse quantity prober
+//!   with underestimation bias (paper §3.1–3.2).
+//! * [`errors`] — the four erroneous-label models of §6.3 plus the
+//!   δ/p calibration that reproduces Table 3.
+//! * [`neighbors`] — random `k`-neighbor sets (the Vivaldi-style
+//!   architecture of §5.3) and the disjoint peer sets of §6.4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod event;
+pub mod neighbors;
+pub mod net;
+pub mod probe;
+
+pub use event::{EventQueue, SimTime};
+pub use neighbors::NeighborSets;
+pub use net::{Delivery, NetConfig, SimNet};

@@ -1,0 +1,189 @@
+//! Neighbor and peer set management.
+//!
+//! DMFSGD "has the same architecture as Vivaldi where each node
+//! randomly and independently chooses a neighbor set of k nodes as
+//! references and randomly probes one of its neighbors at each time"
+//! (paper §5.3). The peer-selection experiment (§6.4) additionally
+//! gives every node a *peer set* forced to be disjoint from its
+//! neighbor set, so prediction quality is evaluated on pairs the node
+//! never trained on.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-node reference sets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborSets {
+    sets: Vec<Vec<usize>>,
+}
+
+impl NeighborSets {
+    /// Chooses `k` distinct random neighbors (≠ self) for each of `n`
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics when `k >= n` (a node cannot reference itself).
+    pub fn random(n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(k >= 1 && k < n, "k must satisfy 1 <= k < n (k={k}, n={n})");
+        let sets = (0..n)
+            .map(|i| sample_distinct(n, k, &[i], rng))
+            .collect();
+        Self { sets }
+    }
+
+    /// Builds sets from explicit lists (used by tests and loaders).
+    pub fn from_sets(sets: Vec<Vec<usize>>) -> Self {
+        for (i, set) in sets.iter().enumerate() {
+            assert!(!set.contains(&i), "node {i} cannot be its own neighbor");
+        }
+        Self { sets }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The neighbor list of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.sets[i]
+    }
+
+    /// Uniformly samples one neighbor of node `i`.
+    pub fn sample_neighbor(&self, i: usize, rng: &mut impl Rng) -> usize {
+        let set = &self.sets[i];
+        set[rng.gen_range(0..set.len())]
+    }
+
+    /// Draws per-node peer sets of size `m`, disjoint from each node's
+    /// neighbor set and excluding the node itself (paper §6.4).
+    ///
+    /// # Panics
+    /// Panics when `m + k + 1 > n` so no valid peer set exists.
+    pub fn disjoint_peer_sets(&self, m: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        let n = self.len();
+        (0..n)
+            .map(|i| {
+                let mut excluded: Vec<usize> = self.sets[i].clone();
+                excluded.push(i);
+                assert!(
+                    m + excluded.len() <= n,
+                    "peer set of {m} impossible: {} nodes excluded of {n}",
+                    excluded.len()
+                );
+                sample_distinct(n, m, &excluded, rng)
+            })
+            .collect()
+    }
+}
+
+/// Samples `k` distinct values from `0..n` excluding `excluded`
+/// (partial Fisher–Yates over the allowed pool).
+fn sample_distinct(n: usize, k: usize, excluded: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).filter(|x| !excluded.contains(x)).collect();
+    assert!(pool.len() >= k, "pool too small: {} < {k}", pool.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_sets_have_size_k_and_exclude_self() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ns = NeighborSets::random(50, 10, &mut rng);
+        assert_eq!(ns.len(), 50);
+        for i in 0..50 {
+            let set = ns.neighbors(i);
+            assert_eq!(set.len(), 10);
+            assert!(!set.contains(&i));
+            let mut sorted = set.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "neighbors must be distinct");
+        }
+    }
+
+    #[test]
+    fn sample_neighbor_stays_in_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ns = NeighborSets::random(20, 5, &mut rng);
+        for _ in 0..100 {
+            let picked = ns.sample_neighbor(3, &mut rng);
+            assert!(ns.neighbors(3).contains(&picked));
+        }
+    }
+
+    #[test]
+    fn sample_neighbor_covers_whole_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ns = NeighborSets::random(10, 4, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(ns.sample_neighbor(0, &mut rng));
+        }
+        assert_eq!(seen.len(), 4, "all neighbors should eventually be probed");
+    }
+
+    #[test]
+    fn peer_sets_disjoint_from_neighbors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let ns = NeighborSets::random(40, 8, &mut rng);
+        let peers = ns.disjoint_peer_sets(10, &mut rng);
+        for i in 0..40 {
+            assert_eq!(peers[i].len(), 10);
+            assert!(!peers[i].contains(&i));
+            for p in &peers[i] {
+                assert!(
+                    !ns.neighbors(i).contains(p),
+                    "peer {p} of node {i} is also a neighbor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must satisfy")]
+    fn k_of_n_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        NeighborSets::random(5, 5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer set of")]
+    fn oversized_peer_sets_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let ns = NeighborSets::random(10, 5, &mut rng);
+        ns.disjoint_peer_sets(6, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "own neighbor")]
+    fn from_sets_validates_self_reference() {
+        NeighborSets::from_sets(vec![vec![0]]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(
+            NeighborSets::random(30, 6, &mut a),
+            NeighborSets::random(30, 6, &mut b)
+        );
+    }
+}

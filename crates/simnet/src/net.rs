@@ -1,0 +1,320 @@
+//! Message-passing network simulation.
+//!
+//! [`SimNet`] delivers opaque messages between nodes with one-way
+//! delays derived from the RTT ground truth (half the pair RTT, plus
+//! log-normal jitter) and optional random loss. Timers are modeled as
+//! lossless self-deliveries. The structure mirrors how a real
+//! deployment behaves — a probe is a message exchange taking real time,
+//! a reply can be lost — so the DMFSGD node logic that runs on top of
+//! it transfers unchanged to the UDP agents in `dmf-agent`.
+
+use crate::event::{EventQueue, SimTime};
+use dmf_datasets::Dataset;
+use dmf_linalg::stats::log_normal_sample;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Network behaviour knobs (fault injection included).
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Probability that any network message is silently dropped.
+    /// Timers never drop.
+    pub loss_probability: f64,
+    /// Log-normal sigma of per-message delay jitter.
+    pub delay_jitter_sigma: f64,
+    /// Fallback one-way delay (seconds) for pairs without ground-truth
+    /// RTT (e.g. unmeasured pairs in sparse datasets).
+    pub default_one_way_delay_s: f64,
+    /// RNG seed for delays and losses.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            loss_probability: 0.0,
+            delay_jitter_sigma: 0.05,
+            default_one_way_delay_s: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// A message being delivered to a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Sender node id (`from == to` for timers).
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Counters describing what the network did (used by tests and the
+/// harness to report fault-injection levels actually achieved).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to `send` (excluding timers).
+    pub sent: usize,
+    /// Messages delivered (excluding timers).
+    pub delivered: usize,
+    /// Messages dropped by loss injection.
+    pub dropped: usize,
+    /// Timers fired.
+    pub timers: usize,
+}
+
+/// The simulated network: an event queue plus a latency/loss model.
+pub struct SimNet<M> {
+    queue: EventQueue<Delivery<M>>,
+    /// One-way delays in seconds, `n × n`, derived from the dataset.
+    one_way_delay: Vec<f64>,
+    n: usize,
+    config: NetConfig,
+    rng: ChaCha8Rng,
+    stats: NetStats,
+    in_flight_non_timer: usize,
+}
+
+impl<M> SimNet<M> {
+    /// Builds a network over `n` nodes whose one-way delays come from
+    /// an RTT dataset in **milliseconds** (delay = RTT/2, converted to
+    /// seconds). Pairs the dataset does not cover use the configured
+    /// default delay.
+    pub fn from_rtt_dataset(dataset: &Dataset, config: NetConfig) -> Self {
+        let n = dataset.len();
+        let mut one_way_delay = vec![config.default_one_way_delay_s; n * n];
+        for (i, j) in dataset.mask.iter_known() {
+            one_way_delay[i * n + j] = dataset.values[(i, j)] / 2.0 / 1000.0;
+        }
+        Self::with_delays(n, one_way_delay, config)
+    }
+
+    /// Builds a network with a uniform one-way delay (useful for unit
+    /// tests of protocol logic).
+    pub fn uniform(n: usize, one_way_delay_s: f64, config: NetConfig) -> Self {
+        Self::with_delays(n, vec![one_way_delay_s; n * n], config)
+    }
+
+    fn with_delays(n: usize, one_way_delay: Vec<f64>, config: NetConfig) -> Self {
+        assert_eq!(one_way_delay.len(), n * n, "delay table shape mismatch");
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        Self {
+            queue: EventQueue::new(),
+            one_way_delay,
+            n,
+            config,
+            rng,
+            stats: NetStats::default(),
+            in_flight_non_timer: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Sends `msg` from `from` to `to`. The message is subject to loss
+    /// and delay jitter.
+    pub fn send(&mut self, from: usize, to: usize, msg: M) {
+        assert!(from < self.n && to < self.n, "node id out of range");
+        self.stats.sent += 1;
+        if self.rng.gen::<f64>() < self.config.loss_probability {
+            self.stats.dropped += 1;
+            return;
+        }
+        let base = self.one_way_delay[from * self.n + to];
+        let jitter = if self.config.delay_jitter_sigma > 0.0 {
+            log_normal_sample(&mut self.rng, 0.0, self.config.delay_jitter_sigma)
+        } else {
+            1.0
+        };
+        self.in_flight_non_timer += 1;
+        self.queue
+            .schedule_after(base * jitter, Delivery { from, to, msg });
+    }
+
+    /// Schedules a lossless timer for `node` after `delay` seconds.
+    pub fn set_timer(&mut self, node: usize, delay: SimTime, msg: M) {
+        assert!(node < self.n, "node id out of range");
+        self.queue.schedule_after(
+            delay,
+            Delivery {
+                from: node,
+                to: node,
+                msg,
+            },
+        );
+    }
+
+    /// Delivers the next message (advancing simulated time).
+    pub fn next_delivery(&mut self) -> Option<(SimTime, Delivery<M>)> {
+        let (t, d) = self.queue.pop()?;
+        if d.from == d.to {
+            self.stats.timers += 1;
+        } else {
+            self.stats.delivered += 1;
+            self.in_flight_non_timer -= 1;
+        }
+        Some((t, d))
+    }
+
+    /// Number of queued deliveries (timers included).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of queued *network* messages (timers excluded).
+    pub fn pending_messages(&self) -> usize {
+        self.in_flight_non_timer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_datasets::rtt::meridian_like;
+
+    #[test]
+    fn message_arrives_after_half_rtt() {
+        let d = meridian_like(10, 1);
+        let mut net: SimNet<&str> = SimNet::from_rtt_dataset(
+            &d,
+            NetConfig {
+                delay_jitter_sigma: 0.0,
+                ..NetConfig::default()
+            },
+        );
+        net.send(0, 1, "probe");
+        let (t, delivery) = net.next_delivery().unwrap();
+        assert_eq!(delivery, Delivery { from: 0, to: 1, msg: "probe" });
+        let expected = d.values[(0, 1)] / 2.0 / 1000.0;
+        assert!((t - expected).abs() < 1e-12, "t={t}, expected {expected}");
+    }
+
+    #[test]
+    fn round_trip_takes_full_rtt() {
+        let d = meridian_like(10, 2);
+        let mut net: SimNet<u8> = SimNet::from_rtt_dataset(
+            &d,
+            NetConfig {
+                delay_jitter_sigma: 0.0,
+                ..NetConfig::default()
+            },
+        );
+        net.send(3, 7, 1);
+        let (_, probe) = net.next_delivery().unwrap();
+        net.send(probe.to, probe.from, 2);
+        let (t, reply) = net.next_delivery().unwrap();
+        assert_eq!(reply.to, 3);
+        let expected_rtt_s = d.values[(3, 7)] / 1000.0;
+        assert!((t - expected_rtt_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_injection_drops_messages() {
+        let mut net: SimNet<u32> = SimNet::uniform(
+            4,
+            0.01,
+            NetConfig {
+                loss_probability: 0.5,
+                seed: 3,
+                ..NetConfig::default()
+            },
+        );
+        for i in 0..1000 {
+            net.send(0, 1, i);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 1000);
+        assert!(stats.dropped > 350 && stats.dropped < 650, "dropped {}", stats.dropped);
+        assert_eq!(net.pending_messages() + stats.dropped, 1000);
+    }
+
+    #[test]
+    fn timers_never_drop() {
+        let mut net: SimNet<u32> = SimNet::uniform(
+            2,
+            0.01,
+            NetConfig {
+                loss_probability: 1.0,
+                seed: 4,
+                ..NetConfig::default()
+            },
+        );
+        for i in 0..50 {
+            net.set_timer(1, 0.1 + i as f64, i);
+        }
+        let mut fired = 0;
+        while let Some((_, d)) = net.next_delivery() {
+            assert_eq!(d.from, d.to);
+            fired += 1;
+        }
+        assert_eq!(fired, 50);
+        assert_eq!(net.stats().timers, 50);
+    }
+
+    #[test]
+    fn deliveries_are_time_ordered() {
+        let d = meridian_like(20, 5);
+        let mut net: SimNet<usize> = SimNet::from_rtt_dataset(&d, NetConfig::default());
+        for i in 0..19 {
+            net.send(i, i + 1, i);
+        }
+        let mut last = 0.0;
+        while let Some((t, _)) = net.next_delivery() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_validates_node_ids() {
+        let mut net: SimNet<()> = SimNet::uniform(2, 0.01, NetConfig::default());
+        net.send(0, 5, ());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let mut net: SimNet<u32> = SimNet::uniform(
+                3,
+                0.02,
+                NetConfig {
+                    seed,
+                    loss_probability: 0.2,
+                    ..NetConfig::default()
+                },
+            );
+            for i in 0..100 {
+                net.send((i % 3) as usize, ((i + 1) % 3) as usize, i);
+            }
+            let mut log = Vec::new();
+            while let Some((t, d)) = net.next_delivery() {
+                log.push((t.to_bits(), d.msg));
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

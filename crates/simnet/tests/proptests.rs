@@ -1,0 +1,109 @@
+//! Property-based tests for the simulation substrate.
+
+use dmf_datasets::rtt::meridian_like;
+use dmf_simnet::errors::{calibrate_delta, inject, BandErrorKind, ErrorModel};
+use dmf_simnet::{EventQueue, NeighborSets, NetConfig, SimNet};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn event_queue_preserves_count(times in proptest::collection::vec(0.0f64..100.0, 0..50)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule_at(t, ());
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn simnet_conserves_messages(loss in 0.0f64..1.0, count in 1usize..200, seed in 0u64..100) {
+        let mut net: SimNet<usize> = SimNet::uniform(
+            4,
+            0.01,
+            NetConfig { loss_probability: loss, seed, ..NetConfig::default() },
+        );
+        for i in 0..count {
+            net.send(i % 4, (i + 1) % 4, i);
+        }
+        let mut delivered = 0usize;
+        while net.next_delivery().is_some() {
+            delivered += 1;
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.sent, count);
+        prop_assert_eq!(stats.delivered, delivered);
+        prop_assert_eq!(stats.delivered + stats.dropped, count);
+    }
+
+    #[test]
+    fn neighbor_sets_valid(n in 3usize..40, seed in 0u64..50) {
+        let k = (n / 3).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sets = NeighborSets::random(n, k, &mut rng);
+        for i in 0..n {
+            let neigh = sets.neighbors(i);
+            prop_assert_eq!(neigh.len(), k);
+            prop_assert!(!neigh.contains(&i));
+            let mut uniq = neigh.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), k);
+            prop_assert!(uniq.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn flip_near_tau_calibration_tracks_target(
+        seed in 0u64..20,
+        target in 0.01f64..0.2,
+    ) {
+        let d = meridian_like(60, seed);
+        let tau = d.median();
+        let delta = calibrate_delta(&d, tau, target, BandErrorKind::FlipNearTau);
+        let base = d.classify(tau);
+        let mut noisy = base.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x77);
+        inject(&mut noisy, &d, ErrorModel::FlipNearTau { delta }, &mut rng);
+        let level = base.disagreement_count(&noisy) as f64 / base.mask.count_known() as f64;
+        prop_assert!(
+            (level - target).abs() < 0.04,
+            "target {target}, achieved {level}"
+        );
+    }
+
+    #[test]
+    fn error_injection_never_touches_unobserved(seed in 0u64..20) {
+        let d = meridian_like(30, seed);
+        let base = d.classify(d.median());
+        let mut noisy = base.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        inject(&mut noisy, &d, ErrorModel::FlipRandom { fraction: 0.5 }, &mut rng);
+        // Mask must be untouched; only labels may differ.
+        prop_assert_eq!(&noisy.mask, &base.mask);
+        for i in 0..30 {
+            prop_assert_eq!(noisy.label(i, i), None);
+        }
+    }
+}

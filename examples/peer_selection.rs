@@ -1,0 +1,79 @@
+//! Peer selection (the paper's §6.4 application): pick a satisfactory
+//! download peer from a candidate set using class-based prediction,
+//! and compare with quantity-based prediction and random choice.
+//!
+//! ```sh
+//! cargo run --release --example peer_selection
+//! ```
+
+use dmfsgd::core::provider::{ClassLabelProvider, QuantityProvider};
+use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::datasets::abw::hps3_like;
+use dmfsgd::eval::peersel::{evaluate_peer_selection, SelectionStrategy};
+use dmfsgd::linalg::Matrix;
+use dmfsgd::simnet::NeighborSets;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A streaming application wants peers with enough available
+    // bandwidth. ABW ground truth, HP-S3-like (median 43.1 Mbps).
+    let n = 200;
+    let dataset = hps3_like(n, 7);
+    let tau = dataset.median(); // "good" = can sustain τ Mbps
+    println!(
+        "network: {n} nodes, τ = {tau:.1} Mbps ({:.0}% of paths good)",
+        dataset.good_fraction(tau) * 100.0
+    );
+
+    let k = 10;
+    let budget = n * k * 25;
+
+    // Class-based prediction (cheap probes: one UDP train per pair).
+    let classes = dataset.classify(tau);
+    let mut class_provider = ClassLabelProvider::new(classes);
+    let mut cfg = DmfsgdConfig::paper_defaults().with_k(k);
+    cfg.seed = 1;
+    let mut class_system = DmfsgdSystem::new(n, cfg);
+    class_system.run(budget, &mut class_provider);
+    let class_scores = class_system.predicted_scores();
+
+    // Quantity-based prediction (expensive probes: full ABW values).
+    let mut quantity_provider = QuantityProvider::new(dataset.clone(), tau);
+    let mut qcfg = DmfsgdConfig::paper_defaults().with_k(k).quantity(tau);
+    qcfg.seed = 2;
+    let mut quantity_system = DmfsgdSystem::new(n, qcfg);
+    quantity_system.run(budget, &mut quantity_provider);
+    let predicted_quantities =
+        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { quantity_system.predict(i, j) });
+
+    // Each node draws a peer set disjoint from its training neighbors.
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let neighbors = NeighborSets::random(n, k, &mut rng);
+
+    println!("\n{:>6} {:>28} {:>10} {:>12}", "peers", "method", "stretch", "unsatisfied");
+    for m in [10, 20, 40] {
+        let peer_sets = neighbors.disjoint_peer_sets(m, &mut rng);
+        let runs: [(&str, SelectionStrategy); 3] = [
+            ("Random", SelectionStrategy::Random),
+            ("Classification (cheap)", SelectionStrategy::HighestScore(&class_scores)),
+            (
+                "Regression (costly)",
+                SelectionStrategy::BestPredictedQuantity(&predicted_quantities, dataset.metric),
+            ),
+        ];
+        for (name, strategy) in runs {
+            let out = evaluate_peer_selection(&dataset, tau, &peer_sets, strategy, &mut rng);
+            println!(
+                "{m:>6} {name:>28} {:>10.3} {:>11.1}%",
+                out.avg_stretch,
+                out.unsatisfied_fraction * 100.0
+            );
+        }
+    }
+    println!(
+        "\ntakeaway (paper §6.4): classification already gives satisfactory peers\n\
+         at a fraction of the measurement cost; regression buys optimality, not\n\
+         satisfaction."
+    );
+}

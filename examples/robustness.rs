@@ -1,0 +1,73 @@
+//! Robustness to erroneous measurements (the paper's §6.3): inject
+//! each error type at 15% and watch how much of the accuracy survives.
+//!
+//! ```sh
+//! cargo run --release --example robustness
+//! ```
+
+use dmfsgd::core::{provider::ClassLabelProvider, DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::datasets::abw::hps3_like;
+use dmfsgd::eval::{collect_scores, roc::auc};
+use dmfsgd::simnet::errors::{
+    calibrate_delta, calibrate_good_to_bad_fraction, inject, BandErrorKind, ErrorModel,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let n = 180;
+    let dataset = hps3_like(n, 11);
+    let tau = dataset.median();
+    let clean = dataset.classify(tau);
+    let level = 0.15;
+
+    let train = |class: &dmfsgd::datasets::ClassMatrix| {
+        let mut provider = ClassLabelProvider::new(class.clone());
+        let mut cfg = DmfsgdConfig::paper_defaults();
+        cfg.seed = 5;
+        let mut system = DmfsgdSystem::new(n, cfg);
+        system.run(n * cfg.k * 25, &mut provider);
+        // Always evaluate against the *clean* labels: the question is
+        // whether training survives measurement errors.
+        auc(&collect_scores(&clean, &system.predicted_scores()))
+    };
+
+    println!("ABW dataset, τ = {tau:.1} Mbps, 15% erroneous labels\n");
+    println!("{:>42} {:>7}", "training labels", "AUC");
+    println!("{:>42} {:>7.3}", "clean", train(&clean));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let scenarios: Vec<(&str, ErrorModel)> = vec![
+        (
+            "Type 1: flip near τ (flaky tools)",
+            ErrorModel::FlipNearTau {
+                delta: calibrate_delta(&dataset, tau, level, BandErrorKind::FlipNearTau),
+            },
+        ),
+        (
+            "Type 2: underestimation bias",
+            ErrorModel::UnderestimationBias {
+                delta: calibrate_delta(&dataset, tau, level, BandErrorKind::UnderestimationBias),
+            },
+        ),
+        ("Type 3: random flips (malicious)", ErrorModel::FlipRandom { fraction: level }),
+        (
+            "Type 4: good→bad (traffic bursts)",
+            ErrorModel::GoodToBad {
+                fraction_of_good: calibrate_good_to_bad_fraction(&clean, level),
+            },
+        ),
+    ];
+    for (name, model) in scenarios {
+        let mut noisy = clean.clone();
+        let changed = inject(&mut noisy, &dataset, model, &mut rng);
+        let achieved = changed as f64 / clean.mask.count_known() as f64 * 100.0;
+        println!("{:>42} {:>7.3}   ({achieved:.1}% labels flipped)", name, train(&noisy));
+    }
+
+    println!(
+        "\ntakeaway (paper Fig. 6): errors near τ barely matter — they flip\n\
+         labels the factorization treats as borderline anyway; random and\n\
+         good→bad errors are the harmful kind."
+    );
+}

@@ -1,0 +1,44 @@
+//! # dmfsgd — Decentralized Prediction of End-to-End Network Performance Classes
+//!
+//! A from-scratch Rust reproduction of Liao, Du, Geurts & Leduc,
+//! *"Decentralized Prediction of End-to-End Network Performance
+//! Classes"* (ACM CoNEXT 2011): the **DMFSGD** algorithms — matrix
+//! completion of binary ("good"/"bad") pairwise performance classes by
+//! fully decentralized stochastic gradient descent — together with the
+//! datasets, simulator, evaluation criteria, baselines and a real UDP
+//! deployment.
+//!
+//! This facade crate re-exports the public API of every workspace
+//! member. Start with [`core`] (the algorithms), [`datasets`] (the
+//! calibrated synthetic Harvard/Meridian/HP-S3 equivalents) and
+//! [`eval`] (ROC/AUC, peer selection).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dmfsgd::core::{provider::ClassLabelProvider, DmfsgdConfig, DmfsgdSystem};
+//! use dmfsgd::datasets::rtt::meridian_like;
+//! use dmfsgd::eval::{collect_scores, roc::auc};
+//!
+//! // A 60-node RTT dataset calibrated to the Meridian median (56.4 ms).
+//! let dataset = meridian_like(60, 7);
+//! let tau = dataset.median();            // paper default threshold
+//! let classes = dataset.classify(tau);   // ±1 class matrix
+//!
+//! // Train with the paper defaults (r=10, η=λ=0.1, logistic loss).
+//! let mut provider = ClassLabelProvider::new(classes.clone());
+//! let mut system = DmfsgdSystem::new(dataset.len(), DmfsgdConfig::paper_defaults());
+//! system.run(60 * 10 * 25, &mut provider); // ≈ 25×k measurements per node
+//!
+//! let auc = auc(&collect_scores(&classes, &system.predicted_scores()));
+//! assert!(auc > 0.85);
+//! ```
+
+pub use dmf_agent as agent;
+pub use dmf_baselines as baselines;
+pub use dmf_core as core;
+pub use dmf_datasets as datasets;
+pub use dmf_eval as eval;
+pub use dmf_linalg as linalg;
+pub use dmf_proto as proto;
+pub use dmf_simnet as simnet;
