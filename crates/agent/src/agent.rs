@@ -157,7 +157,11 @@ pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats)
                     stats.updates_applied += 1;
                 }
             }
-            Message::AbwProbe { nonce, rate_mbps: _, u } => {
+            Message::AbwProbe {
+                nonce,
+                rate_mbps: _,
+                u,
+            } => {
                 // Algorithm 2 steps 2–4 at the target. The prober's id
                 // is recovered from its source address.
                 let Some(prober) = peers.iter().position(|&p| p == src) else {

@@ -74,7 +74,11 @@ impl UdpCluster {
     ///
     /// The classification threshold is `tau`; the dataset decides
     /// whether agents speak Algorithm 1 (RTT) or Algorithm 2 (ABW).
-    pub fn run(dataset: Dataset, tau: f64, config: ClusterConfig) -> std::io::Result<ClusterOutcome> {
+    pub fn run(
+        dataset: Dataset,
+        tau: f64,
+        config: ClusterConfig,
+    ) -> std::io::Result<ClusterOutcome> {
         config.dmfsgd.validate();
         let n = dataset.len();
         assert!(n > config.dmfsgd.k, "need more nodes than neighbors");

@@ -17,6 +17,15 @@
 //!   datagrams).
 //! * [`cluster`] — spawn-N-agents harness used by tests, examples and
 //!   benchmarks.
+//!
+//! # Position in the workspace
+//!
+//! The deployment tip of the DAG: node state machines come from
+//! [`dmf_core::node`], the wire format from [`dmf_proto`], probe
+//! instruments from [`dmf_simnet::probe`], ground truth from
+//! [`dmf_datasets`], and outcome scoring from [`dmf_eval`]. Nothing
+//! depends on this crate — it exists to prove the algorithm runs on
+//! real sockets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -10,9 +10,9 @@
 
 use dmf_datasets::{Dataset, Metric};
 use dmf_simnet::probe::{PathloadProber, RttProber};
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Mutex;
 
 /// Shared measurement oracle.
 pub struct MeasurementOracle {
@@ -64,7 +64,7 @@ impl MeasurementOracle {
 
     /// Measures the RTT class for `i → j` (ping + threshold).
     pub fn rtt_class(&self, i: usize, j: usize) -> Option<f64> {
-        let mut rng = self.rng.lock();
+        let mut rng = self.rng.lock().expect("oracle rng lock poisoned");
         let rtt = self.rtt_prober.measure(&self.dataset, i, j, &mut *rng)?;
         Some(Metric::Rtt.classify(rtt, self.tau))
     }
@@ -72,7 +72,7 @@ impl MeasurementOracle {
     /// Measures the ABW class for `i → j` (pathload train at rate
     /// `tau`, inferred at the target).
     pub fn abw_class(&self, i: usize, j: usize) -> Option<f64> {
-        let mut rng = self.rng.lock();
+        let mut rng = self.rng.lock().expect("oracle rng lock poisoned");
         self.abw_prober
             .probe_class(&self.dataset, i, j, self.tau, &mut *rng)
     }

@@ -2,8 +2,8 @@
 //!
 //! The paper's §2 positions DMFSGD against centralized approaches
 //! that "collect and process the measurements at a central node"
-//! (its own Figure 2 architecture before decentralization, MMMF [20],
-//! IDES [13]). These baselines optimize the *same* regularized
+//! (its own Figure 2 architecture before decentralization, MMMF \[20\],
+//! IDES \[13\]). These baselines optimize the *same* regularized
 //! objective (paper eq. 3) with full access to the observed matrix:
 //!
 //! * [`batch_gd`] — full-gradient descent for any loss (hinge,
@@ -74,6 +74,7 @@ impl Factorization {
 /// Runs `iters` full passes; each pass computes the exact gradient of
 /// eq. 3 over all observed entries and steps with learning rate `eta`
 /// (per-entry scaling keeps `eta` comparable to the SGD step).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's hyper-parameter list
 pub fn batch_gd(
     values: &Matrix,
     mask: &Mask,
@@ -124,7 +125,16 @@ pub fn batch_gd_class(
     iters: usize,
     seed: u64,
 ) -> Factorization {
-    batch_gd(&class.labels, &class.mask, rank, loss, eta, lambda, iters, seed)
+    batch_gd(
+        &class.labels,
+        &class.mask,
+        rank,
+        loss,
+        eta,
+        lambda,
+        iters,
+        seed,
+    )
 }
 
 /// Alternating least squares for the L2 loss.

@@ -15,6 +15,14 @@
 //!   full data access).
 //! * [`selection`] — peer-selection reference strategies: the oracle
 //!   (true-best) selector and score-matrix builders for it.
+//!
+//! # Position in the workspace
+//!
+//! Consumes the same substrate as the main algorithm so comparisons
+//! are apples-to-apples: datasets from [`dmf_datasets`], losses from
+//! [`dmf_core::loss`], linear solves from [`dmf_linalg`], and the
+//! evaluation criteria of [`dmf_eval`]. `dmf-bench` pits these
+//! baselines against DMFSGD in the ablation binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -84,7 +84,11 @@ mod tests {
             SelectionStrategy::HighestScore(&scores),
             &mut rng,
         );
-        assert!((out.avg_stretch - 1.0).abs() < 1e-12, "stretch {}", out.avg_stretch);
+        assert!(
+            (out.avg_stretch - 1.0).abs() < 1e-12,
+            "stretch {}",
+            out.avg_stretch
+        );
         assert_eq!(out.unsatisfied_fraction, 0.0);
     }
 
@@ -103,8 +107,13 @@ mod tests {
             SelectionStrategy::HighestScore(&scores),
             &mut rng,
         );
-        let random =
-            evaluate_peer_selection(&d, d.median(), &peer_sets, SelectionStrategy::Random, &mut rng);
+        let random = evaluate_peer_selection(
+            &d,
+            d.median(),
+            &peer_sets,
+            SelectionStrategy::Random,
+            &mut rng,
+        );
         assert!(oracle.avg_stretch < random.avg_stretch);
         assert!(oracle.unsatisfied_fraction <= random.unsatisfied_fraction);
     }

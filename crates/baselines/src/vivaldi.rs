@@ -120,8 +120,8 @@ impl Vivaldi {
         // Relative error of this sample.
         let es = (predicted - rtt).abs() / rtt;
         // Update the local error estimate (EWMA weighted by w).
-        self.nodes[i].error = (es * self.config.ce * w + e_i * (1.0 - self.config.ce * w))
-            .clamp(1e-6, 1.0);
+        self.nodes[i].error =
+            (es * self.config.ce * w + e_i * (1.0 - self.config.ce * w)).clamp(1e-6, 1.0);
 
         // Move along the unit vector away from/toward j.
         let delta = self.config.cc * w;
@@ -231,9 +231,11 @@ mod tests {
             let j = neighbors.sample_neighbor(i, &mut rng);
             viv.observe(i, j, d.values[(i, j)], &mut rng);
         }
-        let avg_err: f64 =
-            (0..40).map(|i| viv.node_error(i)).sum::<f64>() / 40.0;
-        assert!(avg_err < 0.7, "confidence should improve, avg error {avg_err}");
+        let avg_err: f64 = (0..40).map(|i| viv.node_error(i)).sum::<f64>() / 40.0;
+        assert!(
+            avg_err < 0.7,
+            "confidence should improve, avg error {avg_err}"
+        );
     }
 
     #[test]
@@ -242,8 +244,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let mut viv = Vivaldi::new(30, VivaldiConfig::default(), &mut rng);
         for _ in 0..5000 {
-            let i = rng.gen_range(0..30);
-            let j = (i + 1 + rng.gen_range(0..29)) % 30;
+            let i = rng.gen_range(0..30usize);
+            let j = (i + 1 + rng.gen_range(0..29usize)) % 30;
             if i != j {
                 viv.observe(i, j, d.values[(i, j)], &mut rng);
             }

@@ -36,8 +36,7 @@ fn bench_losses(c: &mut Criterion) {
         let median = d.median();
         b.iter(|| {
             let cfg = default_config(10, 3).quantity(median);
-            let mut provider =
-                dmf_core::provider::QuantityProvider::new(d.clone(), median);
+            let mut provider = dmf_core::provider::QuantityProvider::new(d.clone(), median);
             let mut system = DmfsgdSystem::new(n, cfg);
             system.run(black_box(15_000), &mut provider);
             system.measurements_used()

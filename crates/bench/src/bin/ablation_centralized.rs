@@ -7,10 +7,10 @@
 //! Expected shape: DMFSGD approaches the centralized AUC as its budget
 //! grows, and the gap at the paper budget (≈30×k per node) is small.
 
+use dmf_baselines::centralized::batch_gd_class;
 use dmf_bench::experiments::training::{auc_of, default_config, train_class};
 use dmf_bench::report;
 use dmf_bench::Scale;
-use dmf_baselines::centralized::batch_gd_class;
 use dmf_core::Loss;
 use dmf_datasets::rtt::meridian_like;
 use dmf_eval::{collect_scores, roc::auc};

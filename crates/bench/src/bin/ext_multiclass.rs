@@ -46,10 +46,7 @@ fn main() {
                 bundle.dataset.metric,
                 classes as u64,
             );
-            system.run(
-                bundle.dataset.len() * bundle.k * 40,
-                &labels,
-            );
+            system.run(bundle.dataset.len() * bundle.k * 40, &labels);
             let (exact, within_one, mae) = system.evaluate(&labels);
             println!(
                 "{:>10} {classes:>3} {:>9.1}% {:>9.1}% {:>11.1}% {mae:>8.2}",

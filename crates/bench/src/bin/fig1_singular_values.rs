@@ -13,7 +13,13 @@ fn main() {
     println!(
         "{}",
         report::row(
-            &["#".into(), "RTT".into(), "RTT class".into(), "ABW".into(), "ABW class".into()],
+            &[
+                "#".into(),
+                "RTT".into(),
+                "RTT class".into(),
+                "ABW".into(),
+                "ABW class".into()
+            ],
             &[3, 10, 10, 10, 10],
         )
     );
@@ -25,7 +31,11 @@ fn main() {
     }
     println!(
         "\nfast decay (σ10 < 0.35·σ1 on every curve): {}",
-        if fig.decays_fast() { "YES (matches paper)" } else { "NO" }
+        if fig.decays_fast() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("fig1_singular_values", &fig);
     println!("written: {}", path.display());

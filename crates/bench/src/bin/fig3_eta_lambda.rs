@@ -43,7 +43,11 @@ fn main() {
     }
     println!(
         "shape (plateau at 0.1/0.1; logistic ≥ hinge mostly): {}",
-        if fig.shape_holds() { "YES (matches paper)" } else { "NO" }
+        if fig.shape_holds() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("fig3_eta_lambda", &fig);
     println!("written: {}", path.display());

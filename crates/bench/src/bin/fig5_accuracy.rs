@@ -24,12 +24,11 @@ fn main() {
             .map(|(f, t)| format!("({f:.2},{t:.2})"))
             .collect();
         println!("ROC (fpr,tpr): {}", roc_s.join(" "));
-        let pr_s: Vec<String> = d
-            .pr
-            .iter()
-            .step_by((d.pr.len() / 8).max(1))
-            .map(|(r, p)| format!("({r:.2},{p:.2})"))
-            .collect();
+        let pr_s: Vec<String> =
+            d.pr.iter()
+                .step_by((d.pr.len() / 8).max(1))
+                .map(|(r, p)| format!("({r:.2},{p:.2})"))
+                .collect();
         println!("PR (recall,precision): {}", pr_s.join(" "));
         let conv_s: Vec<String> = d
             .convergence
@@ -41,12 +40,24 @@ fn main() {
     }
     println!(
         "shape (all datasets converge ≤ 20×k): {}",
-        if fig.converges_within(20.0) { "YES (matches paper)" } else { "NO" }
+        if fig.converges_within(20.0) {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("fig5_accuracy", &fig);
     println!("written: {}", path.display());
-    assert!(fig.converges_within(20.0), "Figure 5c convergence claim violated");
+    assert!(
+        fig.converges_within(20.0),
+        "Figure 5c convergence claim violated"
+    );
     for d in &fig.datasets {
-        assert!(d.final_auc > 0.85, "{}: final AUC {} too low", d.dataset, d.final_auc);
+        assert!(
+            d.final_auc > 0.85,
+            "{}: final AUC {} too low",
+            d.dataset,
+            d.final_auc
+        );
     }
 }

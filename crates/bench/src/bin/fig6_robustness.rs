@@ -13,7 +13,14 @@ fn main() {
     println!(
         "{}",
         report::row(
-            &["dataset".into(), "type".into(), "0%".into(), "5%".into(), "10%".into(), "15%".into()],
+            &[
+                "dataset".into(),
+                "type".into(),
+                "0%".into(),
+                "5%".into(),
+                "10%".into(),
+                "15%".into()
+            ],
             &[10, 6, 7, 7, 7, 7],
         )
     );
@@ -37,7 +44,11 @@ fn main() {
     }
     println!(
         "\nshape (near-τ errors mild, random/good→bad errors harsher): {}",
-        if fig.shape_holds() { "YES (matches paper)" } else { "NO" }
+        if fig.shape_holds() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("fig6_robustness", &fig);
     println!("written: {}", path.display());

@@ -16,10 +16,7 @@ fn main() {
         "Regression",
         "Classification with noise",
     ];
-    for (title, pick) in [
-        ("stretch", 0usize),
-        ("unsatisfied-node fraction", 1usize),
-    ] {
+    for (title, pick) in [("stretch", 0usize), ("unsatisfied-node fraction", 1usize)] {
         println!("Figure 7 — {title} vs peer-set size");
         for dataset in ["Harvard", "Meridian", "HP-S3"] {
             println!("  {dataset}:");
@@ -31,10 +28,8 @@ fn main() {
                     .map(|c| (c.peers, if pick == 0 { c.stretch } else { c.unsatisfied }))
                     .collect();
                 series.sort_by_key(|&(p, _)| p);
-                let cells: Vec<String> = series
-                    .iter()
-                    .map(|(p, v)| format!("{p}:{v:.3}"))
-                    .collect();
+                let cells: Vec<String> =
+                    series.iter().map(|(p, v)| format!("{p}:{v:.3}")).collect();
                 println!("    {:<26} {}", method, cells.join("  "));
             }
         }
@@ -42,7 +37,11 @@ fn main() {
     }
     println!(
         "shape (predictors beat random; noise costs little satisfaction): {}",
-        if fig.shape_holds() { "YES (matches paper)" } else { "NO" }
+        if fig.shape_holds() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("fig7_peer_selection", &fig);
     println!("written: {}", path.display());

@@ -21,13 +21,22 @@ fn main() {
     println!("{}", report::row(&header, &[6, 16, 16, 16]));
     for (idx, &portion) in table1::PORTIONS.iter().enumerate() {
         let cells: Vec<String> = std::iter::once(format!("{:.0}%", portion * 100.0))
-            .chain(table.columns.iter().map(|c| format!("{:.1}", c.rows[idx].1)))
+            .chain(
+                table
+                    .columns
+                    .iter()
+                    .map(|c| format!("{:.1}", c.rows[idx].1)),
+            )
             .collect();
         println!("{}", report::row(&cells, &[6, 16, 16, 16]));
     }
     println!(
         "\nstructure (τ monotone, portions achieved): {}",
-        if table.structure_holds() { "YES (matches paper)" } else { "NO" }
+        if table.structure_holds() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("table1_tau_portions", &table);
     println!("written: {}", path.display());

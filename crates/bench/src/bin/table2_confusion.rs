@@ -12,7 +12,13 @@ fn main() {
     println!("Table 2 — confusion matrices (sign of x̂)");
     for r in &table.rows {
         println!("\n{}  (accuracy = {:.1}%)", r.dataset, r.accuracy * 100.0);
-        println!("{}", report::row(&["".into(), "pred Good".into(), "pred Bad".into()], &[12, 10, 10]));
+        println!(
+            "{}",
+            report::row(
+                &["".into(), "pred Good".into(), "pred Bad".into()],
+                &[12, 10, 10]
+            )
+        );
         println!(
             "{}",
             report::row(
@@ -38,7 +44,11 @@ fn main() {
     }
     println!(
         "\nshape (accuracy > 80%, diagonal dominant): {}",
-        if table.shape_holds() { "YES (matches paper)" } else { "NO" }
+        if table.shape_holds() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("table2_confusion", &table);
     println!("written: {}", path.display());

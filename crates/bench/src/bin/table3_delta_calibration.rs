@@ -21,13 +21,22 @@ fn main() {
     println!("{}", report::row(&header, &[7, 20, 20, 18, 18]));
     for (idx, &level) in table3::LEVELS.iter().enumerate() {
         let cells: Vec<String> = std::iter::once(format!("{:.0}%", level * 100.0))
-            .chain(table.columns.iter().map(|c| format!("{:.1}", c.rows[idx].1)))
+            .chain(
+                table
+                    .columns
+                    .iter()
+                    .map(|c| format!("{:.1}", c.rows[idx].1)),
+            )
             .collect();
         println!("{}", report::row(&cells, &[7, 20, 20, 18, 18]));
     }
     println!(
         "\nδ monotone in error level: {}",
-        if table.monotone() { "YES (matches paper)" } else { "NO" }
+        if table.monotone() {
+            "YES (matches paper)"
+        } else {
+            "NO"
+        }
     );
     let path = report::write_json("table3_delta_calibration", &table);
     println!("written: {}", path.display());

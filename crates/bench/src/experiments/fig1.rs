@@ -47,7 +47,10 @@ pub fn run(scale: &Scale, seed: u64) -> Fig1 {
     let top_k = 20;
 
     // Cut the paper's submatrix sizes where the dataset allows.
-    let rtt = trio.meridian.dataset.head(trio.meridian.dataset.len().min(2255));
+    let rtt = trio
+        .meridian
+        .dataset
+        .head(trio.meridian.dataset.len().min(2255));
     let abw = trio.hps3.dataset.head(trio.hps3.dataset.len().min(201));
 
     let rtt_class = rtt.classify(rtt.median());
@@ -72,12 +75,9 @@ impl Fig1 {
     /// The paper's qualitative claim: fast decay. We check that by
     /// the 10th singular value every curve has fallen below 35 % of σ₁.
     pub fn decays_fast(&self) -> bool {
-        self.spectra.iter().all(|s| {
-            s.values
-                .get(9)
-                .map(|&v| v < 0.35)
-                .unwrap_or(false)
-        })
+        self.spectra
+            .iter()
+            .all(|s| s.values.get(9).map(|&v| v < 0.35).unwrap_or(false))
     }
 }
 
@@ -91,9 +91,17 @@ mod tests {
         assert_eq!(fig.spectra.len(), 4);
         for s in &fig.spectra {
             assert_eq!(s.values.len(), 20);
-            assert!((s.values[0] - 1.0).abs() < 1e-9, "{}: σ1 must normalize to 1", s.label);
+            assert!(
+                (s.values[0] - 1.0).abs() < 1e-9,
+                "{}: σ1 must normalize to 1",
+                s.label
+            );
             for w in s.values.windows(2) {
-                assert!(w[0] >= w[1] - 1e-9, "{}: spectrum must be descending", s.label);
+                assert!(
+                    w[0] >= w[1] - 1e-9,
+                    "{}: spectrum must be descending",
+                    s.label
+                );
             }
         }
         assert!(fig.decays_fast(), "all four spectra must decay fast");

@@ -85,7 +85,9 @@ impl Fig3 {
     pub fn auc(&self, dataset: &str, swept: &str, value: f64, loss: &str) -> Option<f64> {
         self.cells
             .iter()
-            .find(|c| c.dataset == dataset && c.swept == swept && c.value == value && c.loss == loss)
+            .find(|c| {
+                c.dataset == dataset && c.swept == swept && c.value == value && c.loss == loss
+            })
             .map(|c| c.auc)
     }
 
@@ -93,11 +95,16 @@ impl Fig3 {
     pub fn shape_holds(&self) -> bool {
         // (a) the default η=0.1 cell is accurate on every dataset;
         let default_good = ["Harvard", "Meridian", "HP-S3"].iter().all(|d| {
-            self.auc(d, "eta", 0.1, "Logistic").map(|a| a > 0.8).unwrap_or(false)
+            self.auc(d, "eta", 0.1, "Logistic")
+                .map(|a| a > 0.8)
+                .unwrap_or(false)
         });
         // (b) η=0.1 beats the under-trained η=0.001 everywhere (logistic).
         let eta_matters = ["Harvard", "Meridian", "HP-S3"].iter().all(|d| {
-            match (self.auc(d, "eta", 0.1, "Logistic"), self.auc(d, "eta", 0.001, "Logistic")) {
+            match (
+                self.auc(d, "eta", 0.1, "Logistic"),
+                self.auc(d, "eta", 0.001, "Logistic"),
+            ) {
                 (Some(hi), Some(lo)) => hi > lo,
                 _ => false,
             }

@@ -62,7 +62,7 @@ pub fn run(scale: &Scale, seed: u64, which: &[&str]) -> Fig4 {
 
         if which.contains(&"r") {
             for &r in &RANKS {
-                let mut cfg = default_config(bundle.k, seed ^ 0xf19_4a);
+                let mut cfg = default_config(bundle.k, seed ^ 0x000f_194a);
                 cfg.rank = r;
                 let system = trainer.train(bundle, &class_med, cfg, &[], 0);
                 cells.push(Fig4Cell {
@@ -79,7 +79,7 @@ pub fn run(scale: &Scale, seed: u64, which: &[&str]) -> Fig4 {
                 if k >= n {
                     continue; // quick-scale instances may be too small
                 }
-                let cfg = default_config(k, seed ^ 0xf19_4b);
+                let cfg = default_config(k, seed ^ 0x000f_194b);
                 let system = trainer.train(bundle, &class_med, cfg, &[], 0);
                 cells.push(Fig4Cell {
                     dataset: bundle.name.into(),
@@ -94,7 +94,7 @@ pub fn run(scale: &Scale, seed: u64, which: &[&str]) -> Fig4 {
             for &portion in &PORTIONS {
                 let tau = bundle.dataset.tau_for_good_portion(portion);
                 let class = bundle.dataset.classify(tau);
-                let cfg = default_config(bundle.k, seed ^ 0xf19_4c);
+                let cfg = default_config(bundle.k, seed ^ 0x000f_194c);
                 let system = trainer.train(bundle, &class, cfg, &[], 0);
                 cells.push(Fig4Cell {
                     dataset: bundle.name.into(),
@@ -143,7 +143,10 @@ mod tests {
         for d in ["Harvard", "Meridian", "HP-S3"] {
             let series = fig.series(d, "r");
             assert_eq!(series.len(), 4, "{d} rank series");
-            assert!(fig.small_rank_suffices(d), "{d}: r=10 should be near-optimal");
+            assert!(
+                fig.small_rank_suffices(d),
+                "{d}: r=10 should be near-optimal"
+            );
         }
     }
 

@@ -147,9 +147,11 @@ impl Fig5 {
     /// 20×k measurements per node (we allow the full budget as upper
     /// bound and check the 92 %-of-final point).
     pub fn converges_within(&self, times_k: f64) -> bool {
-        self.datasets
-            .iter()
-            .all(|d| d.converged_at_times_k.map(|t| t <= times_k).unwrap_or(false))
+        self.datasets.iter().all(|d| {
+            d.converged_at_times_k
+                .map(|t| t <= times_k)
+                .unwrap_or(false)
+        })
     }
 }
 
@@ -162,7 +164,12 @@ mod tests {
         let fig = run(&Scale::quick(), 21);
         assert_eq!(fig.datasets.len(), 3);
         for d in &fig.datasets {
-            assert!(d.final_auc > 0.8, "{}: final AUC {}", d.dataset, d.final_auc);
+            assert!(
+                d.final_auc > 0.8,
+                "{}: final AUC {}",
+                d.dataset,
+                d.final_auc
+            );
             assert!(!d.roc.is_empty() && !d.pr.is_empty());
             assert!(!d.convergence.is_empty());
         }

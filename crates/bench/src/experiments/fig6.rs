@@ -91,20 +91,19 @@ pub fn run(scale: &Scale, seed: u64) -> Fig6 {
                     train_trace_class(
                         &trio.harvard_trace,
                         tau,
-                        default_config(bundle.k, seed ^ 0xf16_0b),
+                        default_config(bundle.k, seed ^ 0x000f_160b),
                         &errors,
                         seed ^ (ty as u64) << 8 ^ 0xf16,
                     )
                 } else {
                     let mut noisy = clean.clone();
-                    let mut rng =
-                        ChaCha8Rng::seed_from_u64(seed ^ (ty as u64) << 8 ^ 0xf16);
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (ty as u64) << 8 ^ 0xf16);
                     let changed = match model {
                         Some(m) => inject(&mut noisy, &bundle.dataset, m, &mut rng),
                         None => 0,
                     };
                     let system =
-                        train_class(&noisy, default_config(bundle.k, seed ^ 0xf16_0b), ticks);
+                        train_class(&noisy, default_config(bundle.k, seed ^ 0x000f_160b), ticks);
                     (system, changed as f64 / clean.mask.count_known() as f64)
                 };
                 cells.push(Fig6Cell {
@@ -160,7 +159,11 @@ mod tests {
         assert_eq!(fig.cells.len(), 2 * 4 + 2 * 4 + 4 * 4);
         assert!(fig.shape_holds(), "figure 6 robustness shape violated");
         // Achieved levels must track targets.
-        for c in fig.cells.iter().filter(|c| c.level > 0.0 && c.error_type != 2) {
+        for c in fig
+            .cells
+            .iter()
+            .filter(|c| c.level > 0.0 && c.error_type != 2)
+        {
             assert!(
                 (c.achieved_level - c.level).abs() < 0.03,
                 "{} type {} level {}: achieved {}",

@@ -64,8 +64,13 @@ pub fn run(scale: &Scale, seed: u64) -> Fig7 {
         let ticks = scale.ticks(n, bundle.k);
 
         // Classification on clean labels.
-        let class_system =
-            trainer.train(bundle, &clean, default_config(bundle.k, seed ^ 0x0f17), &[], 0);
+        let class_system = trainer.train(
+            bundle,
+            &clean,
+            default_config(bundle.k, seed ^ 0x0f17),
+            &[],
+            0,
+        );
         let class_scores = class_system.predicted_scores();
 
         // Classification on noisy labels: 10% flip-near-τ + 5% good→bad.
@@ -91,7 +96,13 @@ pub fn run(scale: &Scale, seed: u64) -> Fig7 {
             for model in error_models {
                 inject(&mut noisy, &bundle.dataset, model, &mut err_rng);
             }
-            trainer.train(bundle, &noisy, default_config(bundle.k, seed ^ 0x0f18), &[], 0)
+            trainer.train(
+                bundle,
+                &noisy,
+                default_config(bundle.k, seed ^ 0x0f18),
+                &[],
+                0,
+            )
         };
         let noisy_scores = noisy_system.predicted_scores();
 
@@ -113,7 +124,10 @@ pub fn run(scale: &Scale, seed: u64) -> Fig7 {
             let peer_sets = neighbors.disjoint_peer_sets(m, &mut rng);
             let methods: [(&str, SelectionStrategy); 4] = [
                 ("Random", SelectionStrategy::Random),
-                ("Classification", SelectionStrategy::HighestScore(&class_scores)),
+                (
+                    "Classification",
+                    SelectionStrategy::HighestScore(&class_scores),
+                ),
                 (
                     "Regression",
                     SelectionStrategy::BestPredictedQuantity(&quantities, bundle.dataset.metric),

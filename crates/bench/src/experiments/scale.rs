@@ -122,7 +122,10 @@ mod tests {
             Scale::from_args(&["--quick".into()]).meridian_nodes,
             Scale::quick().meridian_nodes
         );
-        assert_eq!(Scale::from_args(&[]).meridian_nodes, Scale::standard().meridian_nodes);
+        assert_eq!(
+            Scale::from_args(&[]).meridian_nodes,
+            Scale::standard().meridian_nodes
+        );
     }
 
     #[test]

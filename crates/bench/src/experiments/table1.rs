@@ -85,14 +85,7 @@ mod tests {
         assert_eq!(t.columns.len(), 3);
         assert!(t.structure_holds());
         // Median row (50%) must match the calibrated medians.
-        let med = |name: &str| {
-            t.columns
-                .iter()
-                .find(|c| c.dataset == name)
-                .unwrap()
-                .rows[2]
-                .1
-        };
+        let med = |name: &str| t.columns.iter().find(|c| c.dataset == name).unwrap().rows[2].1;
         assert!((med("Harvard") - 131.6).abs() < 1.0);
         assert!((med("Meridian") - 56.4).abs() < 1.0);
         assert!((med("HP-S3") - 43.1).abs() < 1.0);

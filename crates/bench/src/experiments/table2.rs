@@ -40,8 +40,13 @@ pub fn run(scale: &Scale, seed: u64) -> Table2 {
         .map(|bundle| {
             let tau = bundle.dataset.median();
             let class = bundle.dataset.classify(tau);
-            let system =
-                trainer.train(bundle, &class, default_config(bundle.k, seed ^ 0x7ab1e2), &[], 0);
+            let system = trainer.train(
+                bundle,
+                &class,
+                default_config(bundle.k, seed ^ 0x7ab1e2),
+                &[],
+                0,
+            );
             let samples = collect_scores(&class, &system.predicted_scores());
             let cm = ConfusionMatrix::at_sign(&samples);
             Table2Row {

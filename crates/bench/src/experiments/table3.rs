@@ -102,7 +102,12 @@ mod tests {
         assert!(t.monotone(), "δ must grow with the error level");
         for c in &t.columns {
             for &(_, delta) in &c.rows {
-                assert!(delta > 0.0, "{} {}: δ must be positive", c.dataset, c.error_type);
+                assert!(
+                    delta > 0.0,
+                    "{} {}: δ must be positive",
+                    c.dataset,
+                    c.error_type
+                );
             }
         }
     }

@@ -174,8 +174,13 @@ impl BundleTrainer<'_> {
         error_seed: u64,
     ) -> DmfsgdSystem {
         if bundle.name == "Harvard" {
-            let (system, _) =
-                train_trace_class(&self.trio.harvard_trace, class.tau, config, trace_errors, error_seed);
+            let (system, _) = train_trace_class(
+                &self.trio.harvard_trace,
+                class.tau,
+                config,
+                trace_errors,
+                error_seed,
+            );
             system
         } else {
             let ticks = self.scale.ticks(bundle.dataset.len(), config.k);
@@ -243,7 +248,10 @@ mod tests {
     fn bundle_trainer_dispatches_both_protocols() {
         let scale = Scale::quick();
         let trio = Trio::build(&scale, 6);
-        let trainer = BundleTrainer { trio: &trio, scale: &scale };
+        let trainer = BundleTrainer {
+            trio: &trio,
+            scale: &scale,
+        };
         for bundle in trio.bundles() {
             let class = bundle.dataset.classify(bundle.dataset.median());
             let system = trainer.train(bundle, &class, default_config(bundle.k, 6), &[], 0);

@@ -13,6 +13,15 @@
 //! a claim.
 //!
 //! The experiment index lives in `DESIGN.md` §5.
+//!
+//! # Position in the workspace
+//!
+//! The consumer tip of the DAG: [`experiments`] trains
+//! [`dmf_core::system::DmfsgdSystem`] on [`dmf_datasets`] bundles,
+//! injects label errors from [`dmf_simnet::errors`], compares against
+//! [`dmf_baselines`], and reports every number through [`dmf_eval`];
+//! [`report`] persists the JSON records the binaries write. Nothing
+//! depends on this crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

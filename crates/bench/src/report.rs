@@ -44,7 +44,10 @@ mod tests {
 
     #[test]
     fn write_json_roundtrip() {
-        std::env::set_var("DMF_RESULTS_DIR", std::env::temp_dir().join("dmf-results-test"));
+        std::env::set_var(
+            "DMF_RESULTS_DIR",
+            std::env::temp_dir().join("dmf-results-test"),
+        );
         let path = write_json("unit-test", &vec![1, 2, 3]);
         let text = fs::read_to_string(&path).unwrap();
         assert!(text.contains('1'));

@@ -70,7 +70,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let c = Coordinates::random(10, &mut rng);
         assert_eq!(c.rank(), 10);
-        assert!(c.u.iter().chain(c.v.iter()).all(|&x| (0.0..1.0).contains(&x)));
+        assert!(c
+            .u
+            .iter()
+            .chain(c.v.iter())
+            .all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]
@@ -106,6 +110,9 @@ mod tests {
     fn deterministic_per_seed() {
         let mut r1 = ChaCha8Rng::seed_from_u64(5);
         let mut r2 = ChaCha8Rng::seed_from_u64(5);
-        assert_eq!(Coordinates::random(8, &mut r1), Coordinates::random(8, &mut r2));
+        assert_eq!(
+            Coordinates::random(8, &mut r1),
+            Coordinates::random(8, &mut r2)
+        );
     }
 }

@@ -36,6 +36,21 @@
 //!   prediction of more than two performance classes via
 //!   immediate-threshold losses, degenerating exactly to the binary
 //!   formulation at `C = 2`.
+//!
+//! The two drivers are complementary: [`system`] replays the paper's
+//! evaluation schedule with zero transport cost, while [`runner`]
+//! pushes every protocol step through [`dmf_simnet::SimNet`] with
+//! latency and loss — same nodes, different substrate.
+//!
+//! # Position in the workspace
+//!
+//! Depends on [`dmf_linalg`] (coordinates, score matrices),
+//! [`dmf_datasets`] (training data, [`dmf_datasets::ClassMatrix`])
+//! and [`dmf_simnet`] (the simulated network under [`runner`], the
+//! probe instruments behind [`provider`]). Downstream, `dmf-eval`
+//! scores its predictions, `dmf-baselines` solves the same objective
+//! centrally, `dmf-agent` deploys the node logic over UDP, and
+//! `dmf-bench` sweeps its hyper-parameters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -51,11 +51,12 @@ impl OrdinalClassifier {
     /// zero (for `C = 2`: `θ = [0]`, the binary sign rule).
     pub fn equally_spaced(classes: usize, loss: Loss) -> Self {
         assert!(classes >= 2, "need at least two classes");
-        assert!(loss.is_classification(), "ordinal training needs a classification loss");
+        assert!(
+            loss.is_classification(),
+            "ordinal training needs a classification loss"
+        );
         let c = classes as f64;
-        let thresholds = (1..classes)
-            .map(|k| k as f64 - c / 2.0)
-            .collect();
+        let thresholds = (1..classes).map(|k| k as f64 - c / 2.0).collect();
         Self { thresholds, loss }
     }
 
@@ -146,9 +147,7 @@ impl MulticlassLabels {
             .map(|k| {
                 let portion = k as f64 / classes as f64;
                 // Portion of paths at least this good.
-                let p = dataset
-                    .metric
-                    .percentile_for_good_portion(1.0 - portion);
+                let p = dataset.metric.percentile_for_good_portion(1.0 - portion);
                 dmf_linalg::stats::percentile(&observed, p)
             })
             .collect();
@@ -159,8 +158,8 @@ impl MulticlassLabels {
             let class = 1 + boundaries
                 .iter()
                 .filter(|&&b| match dataset.metric {
-                    Metric::Rtt => v <= b,  // faster than boundary ⇒ better
-                    Metric::Abw => v >= b,  // more bandwidth ⇒ better
+                    Metric::Rtt => v <= b, // faster than boundary ⇒ better
+                    Metric::Abw => v >= b, // more bandwidth ⇒ better
                 })
                 .count();
             labels[i * n + j] = class as u8;
@@ -195,9 +194,8 @@ impl MulticlassLabels {
 
     /// Iterates observed `(i, j, class)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            (0..self.n).filter_map(move |j| self.label(i, j).map(|c| (i, j, c)))
-        })
+        (0..self.n)
+            .flat_map(move |i| (0..self.n).filter_map(move |j| self.label(i, j).map(|c| (i, j, c))))
     }
 }
 
@@ -286,14 +284,32 @@ impl MulticlassSystem {
             // u_j (the symmetric label constrains both directions).
             let u_j = self.nodes[j].coords.u.clone();
             let v_j = self.nodes[j].coords.v.clone();
-            ordinal_sgd_step(&mut self.nodes[i].coords.u, &v_j, class, &self.clf, &self.params);
-            ordinal_sgd_step(&mut self.nodes[i].coords.v, &u_j, class, &self.clf, &self.params);
+            ordinal_sgd_step(
+                &mut self.nodes[i].coords.u,
+                &v_j,
+                class,
+                &self.clf,
+                &self.params,
+            );
+            ordinal_sgd_step(
+                &mut self.nodes[i].coords.v,
+                &u_j,
+                class,
+                &self.clf,
+                &self.params,
+            );
         } else {
             // Algorithm-2 shape: v_j updates at the target with the
             // pre-update snapshot sent back for u_i.
             let u_i = self.nodes[i].coords.u.clone();
             let v_snapshot = self.nodes[j].coords.v.clone();
-            ordinal_sgd_step(&mut self.nodes[j].coords.v, &u_i, class, &self.clf, &self.params);
+            ordinal_sgd_step(
+                &mut self.nodes[j].coords.v,
+                &u_i,
+                class,
+                &self.clf,
+                &self.params,
+            );
             ordinal_sgd_step(
                 &mut self.nodes[i].coords.u,
                 &v_snapshot,
@@ -432,8 +448,8 @@ mod tests {
         let h = 1e-7;
         for class in 1..=5 {
             for score in [-2.5, -0.7, 0.0, 1.3, 2.9] {
-                let numeric =
-                    (clf.loss_value(class, score + h) - clf.loss_value(class, score - h)) / (2.0 * h);
+                let numeric = (clf.loss_value(class, score + h) - clf.loss_value(class, score - h))
+                    / (2.0 * h);
                 let analytic = clf.gradient_factor(class, score);
                 assert!(
                     (numeric - analytic).abs() < 1e-5,
@@ -466,8 +482,8 @@ mod tests {
             counts[c] += 1;
         }
         let total: usize = counts.iter().sum();
-        for c in 1..=4 {
-            let frac = counts[c] as f64 / total as f64;
+        for (c, &count) in counts.iter().enumerate().skip(1) {
+            let frac = count as f64 / total as f64;
             assert!(
                 (frac - 0.25).abs() < 0.05,
                 "class {c} has fraction {frac}, expected ~0.25"
@@ -503,8 +519,7 @@ mod tests {
         let d = meridian_like(60, 3);
         let labels = MulticlassLabels::quantiles(&d, 3);
         let clf = OrdinalClassifier::equally_spaced(3, Loss::Logistic);
-        let mut sys =
-            MulticlassSystem::new(60, 10, 10, clf, params(), Metric::Rtt, 3);
+        let mut sys = MulticlassSystem::new(60, 10, 10, clf, params(), Metric::Rtt, 3);
         sys.run(60 * 10 * 40, &labels);
         let (exact, within_one, mae) = sys.evaluate(&labels);
         // Chance: 1/3 exact, ~7/9 within-one.
@@ -518,8 +533,7 @@ mod tests {
         let d = hps3_like(60, 4);
         let labels = MulticlassLabels::quantiles(&d, 4);
         let clf = OrdinalClassifier::equally_spaced(4, Loss::Logistic);
-        let mut sys =
-            MulticlassSystem::new(60, 10, 10, clf, params(), Metric::Abw, 4);
+        let mut sys = MulticlassSystem::new(60, 10, 10, clf, params(), Metric::Abw, 4);
         sys.run(60 * 10 * 40, &labels);
         let (exact, within_one, _) = sys.evaluate(&labels);
         assert!(exact > 0.4, "exact accuracy {exact} (chance = 0.25)");
@@ -531,8 +545,7 @@ mod tests {
         let d = meridian_like(50, 5);
         let labels = MulticlassLabels::quantiles(&d, 4);
         let mut provider = BinarizedProvider::new(&labels, 2);
-        let mut system =
-            crate::DmfsgdSystem::new(50, crate::DmfsgdConfig::paper_defaults());
+        let mut system = crate::DmfsgdSystem::new(50, crate::DmfsgdConfig::paper_defaults());
         system.run(50 * 10 * 25, &mut provider);
         // Evaluate against the top-half classes as "good".
         let mut ok = 0usize;

@@ -59,13 +59,7 @@ impl DmfsgdNode {
 
     /// Steps 3–4 at node `i`: having measured `x_ij` and received
     /// `(u_j, v_j)`, update `u_i` by eq. 9 and `v_i` by eq. 10.
-    pub fn on_rtt_measurement(
-        &mut self,
-        x_ij: f64,
-        u_j: &[f64],
-        v_j: &[f64],
-        params: &SgdParams,
-    ) {
+    pub fn on_rtt_measurement(&mut self, x_ij: f64, u_j: &[f64], v_j: &[f64], params: &SgdParams) {
         // eq. 9: u_i ← (1−ηλ)u_i − η ∂l(x_ij, u_i·v_j)/∂u_i
         sgd_step(&mut self.coords.u, v_j, x_ij, params);
         // eq. 10: v_i ← (1−ηλ)v_i − η ∂l(x_ij, u_j·v_i)/∂v_i
@@ -159,7 +153,10 @@ mod tests {
         let (a, mut b) = two_nodes(5);
         let v_before = b.coords.v.clone();
         let snapshot = b.on_abw_probe(1.0, &a.coords.u, &params());
-        assert_eq!(snapshot, v_before, "step 3 sends v_j before step 4 updates it");
+        assert_eq!(
+            snapshot, v_before,
+            "step 3 sends v_j before step 4 updates it"
+        );
         assert_ne!(b.coords.v, v_before, "eq. 13 must update v_j");
         assert_eq!(b.updates, 1);
     }

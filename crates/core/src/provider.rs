@@ -220,7 +220,9 @@ mod tests {
         let mut agree = 0;
         let mut total = 0;
         for (i, j) in truth.mask.iter_known() {
-            let Some(x) = p.measure(i, j, &mut rng) else { continue };
+            let Some(x) = p.measure(i, j, &mut rng) else {
+                continue;
+            };
             total += 1;
             if Some(x) == truth.label(i, j) {
                 agree += 1;

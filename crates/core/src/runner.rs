@@ -92,8 +92,9 @@ impl SimnetRunner {
         let n = dataset.len();
         assert!(n > config.k, "need more nodes than neighbors");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5117_babe);
-        let nodes: Vec<DmfsgdNode> =
-            (0..n).map(|i| DmfsgdNode::new(i, config.rank, &mut rng)).collect();
+        let nodes: Vec<DmfsgdNode> = (0..n)
+            .map(|i| DmfsgdNode::new(i, config.rank, &mut rng))
+            .collect();
         let neighbors = NeighborSets::random(n, config.k, &mut rng);
         // Message delays always need an RTT-like latency model; for ABW
         // datasets use a uniform control-plane delay instead.
@@ -277,7 +278,11 @@ mod tests {
         let mut total = 0usize;
         for (i, j) in class.mask.iter_known() {
             total += 1;
-            let predicted = if runner.raw_score(i, j) >= 0.0 { 1.0 } else { -1.0 };
+            let predicted = if runner.raw_score(i, j) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
             if Some(predicted) == class.label(i, j) {
                 ok += 1;
             }
@@ -290,13 +295,9 @@ mod tests {
         let d = meridian_like(40, 1);
         let tau = d.median();
         let cm = d.classify(tau);
-        let mut runner = SimnetRunner::new(
-            d,
-            tau,
-            DmfsgdConfig::paper_defaults(),
-            NetConfig::default(),
-        )
-        .with_probe_interval(0.5);
+        let mut runner =
+            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                .with_probe_interval(0.5);
         runner.run_for(150.0);
         let acc = sign_accuracy(&runner, &cm);
         assert!(acc > 0.7, "message-driven accuracy {acc}");
@@ -308,13 +309,9 @@ mod tests {
         let d = hps3_like(40, 2);
         let tau = d.median();
         let cm = d.classify(tau);
-        let mut runner = SimnetRunner::new(
-            d,
-            tau,
-            DmfsgdConfig::paper_defaults(),
-            NetConfig::default(),
-        )
-        .with_probe_interval(0.5);
+        let mut runner =
+            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                .with_probe_interval(0.5);
         runner.run_for(150.0);
         let acc = sign_accuracy(&runner, &cm);
         assert!(acc > 0.65, "ABW message-driven accuracy {acc}");
@@ -373,12 +370,8 @@ mod tests {
         let build = || {
             let d = meridian_like(20, 5);
             let tau = d.median();
-            let mut r = SimnetRunner::new(
-                d,
-                tau,
-                DmfsgdConfig::paper_defaults(),
-                NetConfig::default(),
-            );
+            let mut r =
+                SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default());
             r.run_for(30.0);
             r.predicted_scores()
         };

@@ -7,6 +7,9 @@
 //! order") or following the timestamps of a dynamic trace (Harvard,
 //! "used in time order").
 //!
+//! For the same node logic driven through real message passing with
+//! latency and loss, see [`crate::runner`].
+//!
 //! The driver calls the node handlers of [`crate::node`]; it never
 //! builds a matrix for training. `predicted_scores` materializes the
 //! estimate matrix only for *evaluation*, mirroring how the paper's
@@ -36,9 +39,15 @@ impl DmfsgdSystem {
     /// sets of size `config.k`.
     pub fn new(n: usize, config: DmfsgdConfig) -> Self {
         config.validate();
-        assert!(n > config.k, "need more nodes than neighbors (n={n}, k={})", config.k);
+        assert!(
+            n > config.k,
+            "need more nodes than neighbors (n={n}, k={})",
+            config.k
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let nodes = (0..n).map(|i| DmfsgdNode::new(i, config.rank, &mut rng)).collect();
+        let nodes = (0..n)
+            .map(|i| DmfsgdNode::new(i, config.rank, &mut rng))
+            .collect();
         let neighbors = NeighborSets::random(n, config.k, &mut rng);
         Self {
             config,
@@ -111,7 +120,12 @@ impl DmfsgdSystem {
     /// Processes one measurement for the ordered pair `(i, j)` through
     /// the proper algorithm. Returns false when the pair could not be
     /// measured.
-    pub fn process_pair(&mut self, i: usize, j: usize, provider: &mut dyn MeasurementProvider) -> bool {
+    pub fn process_pair(
+        &mut self,
+        i: usize,
+        j: usize,
+        provider: &mut dyn MeasurementProvider,
+    ) -> bool {
         assert!(i < self.len() && j < self.len(), "node id out of range");
         assert_ne!(i, j, "cannot measure the self-pair");
         let Some(x) = provider.measure(i, j, &mut self.rng) else {
@@ -195,7 +209,11 @@ mod tests {
         let mut total = 0usize;
         for (i, j) in class.mask.iter_known() {
             total += 1;
-            let predicted = if system.raw_score(i, j) >= 0.0 { 1.0 } else { -1.0 };
+            let predicted = if system.raw_score(i, j) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
             if Some(predicted) == class.label(i, j) {
                 ok += 1;
             }

@@ -209,7 +209,10 @@ mod tests {
         let d = toy_dataset();
         let rows = tau_portion_table(&d, &[0.10, 0.25, 0.50, 0.75, 0.90]);
         for w in rows.windows(2) {
-            assert!(w[0].tau <= w[1].tau, "τ must grow with good-portion for RTT");
+            assert!(
+                w[0].tau <= w[1].tau,
+                "τ must grow with good-portion for RTT"
+            );
         }
         // Achieved fraction should be near the requested portion.
         for row in &rows {

@@ -117,7 +117,11 @@ impl Dataset {
     /// Restricts the dataset to its first `n` nodes (used to cut the
     /// Figure-1 submatrices, e.g. 2255 of 2500 Meridian nodes).
     pub fn head(&self, n: usize) -> Dataset {
-        assert!(n <= self.len(), "head({n}) larger than dataset ({})", self.len());
+        assert!(
+            n <= self.len(),
+            "head({n}) larger than dataset ({})",
+            self.len()
+        );
         let values = self.values.submatrix(n, n);
         let mut mask = Mask::none(n, n);
         for (i, j) in self.mask.iter_known() {
@@ -135,11 +139,8 @@ mod tests {
 
     fn toy_rtt() -> Dataset {
         // 3 nodes; values 10, 20, 30 observed off-diagonal (symmetric).
-        let values = Matrix::from_rows(&[
-            &[0.0, 10.0, 20.0],
-            &[10.0, 0.0, 30.0],
-            &[20.0, 30.0, 0.0],
-        ]);
+        let values =
+            Matrix::from_rows(&[&[0.0, 10.0, 20.0], &[10.0, 0.0, 30.0], &[20.0, 30.0, 0.0]]);
         Dataset::new("toy", Metric::Rtt, values, Mask::full_off_diagonal(3))
     }
 

@@ -178,9 +178,8 @@ pub fn harvard_like(config: &HarvardConfig, seed: u64) -> (DynamicTrace, Dataset
     let mut measurements = Vec::with_capacity(config.total_measurements);
     for _ in 0..config.total_measurements {
         let pick = rng.gen::<f64>() * total_w;
-        let idx = match cdf.binary_search_by(|probe| {
-            probe.partial_cmp(&pick).expect("NaN in CDF")
-        }) {
+        let idx = match cdf.binary_search_by(|probe| probe.partial_cmp(&pick).expect("NaN in CDF"))
+        {
             Ok(i) => i,
             Err(i) => i.min(pair_count - 1),
         };
@@ -325,10 +324,30 @@ mod tests {
             metric: Metric::Rtt,
             nodes: 3,
             measurements: vec![
-                Measurement { time_s: 0.0, from: 0, to: 1, value: 10.0 },
-                Measurement { time_s: 1.0, from: 0, to: 1, value: 20.0 },
-                Measurement { time_s: 2.0, from: 0, to: 1, value: 30.0 },
-                Measurement { time_s: 3.0, from: 2, to: 1, value: 7.0 },
+                Measurement {
+                    time_s: 0.0,
+                    from: 0,
+                    to: 1,
+                    value: 10.0,
+                },
+                Measurement {
+                    time_s: 1.0,
+                    from: 0,
+                    to: 1,
+                    value: 20.0,
+                },
+                Measurement {
+                    time_s: 2.0,
+                    from: 0,
+                    to: 1,
+                    value: 30.0,
+                },
+                Measurement {
+                    time_s: 3.0,
+                    from: 2,
+                    to: 1,
+                    value: 7.0,
+                },
             ],
         };
         let gt = trace.ground_truth_median();

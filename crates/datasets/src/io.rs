@@ -38,8 +38,7 @@ pub fn save_trace_json(trace: &DynamicTrace, path: &Path) -> io::Result<()> {
 /// Loads a dynamic trace from JSON, validating time ordering.
 pub fn load_trace_json(path: &Path) -> io::Result<DynamicTrace> {
     let text = fs::read_to_string(path)?;
-    let trace: DynamicTrace =
-        serde_json::from_str(&text).map_err(io::Error::other)?;
+    let trace: DynamicTrace = serde_json::from_str(&text).map_err(io::Error::other)?;
     if !trace.is_time_ordered() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -161,8 +160,18 @@ mod tests {
             metric: Metric::Rtt,
             nodes: 2,
             measurements: vec![
-                crate::Measurement { time_s: 5.0, from: 0, to: 1, value: 1.0 },
-                crate::Measurement { time_s: 1.0, from: 1, to: 0, value: 1.0 },
+                crate::Measurement {
+                    time_s: 5.0,
+                    from: 0,
+                    to: 1,
+                    value: 1.0,
+                },
+                crate::Measurement {
+                    time_s: 1.0,
+                    from: 1,
+                    to: 0,
+                    value: 1.0,
+                },
             ],
         };
         let path = tmp("unordered.json");

@@ -22,6 +22,14 @@
 //! The substitution rationale is documented in `DESIGN.md` §4. Loaders
 //! for on-disk matrices/traces ([`io`]) accept the same representation,
 //! so the real datasets can be dropped in when available.
+//!
+//! # Position in the workspace
+//!
+//! Builds directly on [`dmf_linalg`]: a [`Dataset`] is a
+//! [`dmf_linalg::Matrix`] of quantities plus a [`dmf_linalg::Mask`]
+//! of observed pairs and a [`Metric`]. Downstream, `dmf-simnet`
+//! probes these datasets, `dmf-core` trains on them, and `dmf-eval`
+//! scores predictions against a [`ClassMatrix`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -117,7 +117,11 @@ impl Topology {
                 cx + normal_sample(rng, 0.0, config.cluster_jitter_ms),
                 cy + normal_sample(rng, 0.0, config.cluster_jitter_ms),
             ));
-            access_delay.push(log_normal_sample(rng, config.access_mu, config.access_sigma));
+            access_delay.push(log_normal_sample(
+                rng,
+                config.access_mu,
+                config.access_sigma,
+            ));
         }
 
         Self {
@@ -224,7 +228,10 @@ mod tests {
         for i in 0..80 {
             assert_eq!(m[(i, i)], 0.0);
             for j in 0..80 {
-                assert!((m[(i, j)] - m[(j, i)]).abs() < 1e-12, "RTT must be symmetric");
+                assert!(
+                    (m[(i, j)] - m[(j, i)]).abs() < 1e-12,
+                    "RTT must be symmetric"
+                );
                 if i != j {
                     assert!(m[(i, j)] > 0.0);
                 }
@@ -265,7 +272,10 @@ mod tests {
         let m = t.rtt_matrix(&mut rng);
         let svd = randomized_top_k(&m, 30, 8, 3, 7);
         let er = effective_rank(&svd.singular_values, 0.95);
-        assert!(er <= 12, "effective rank {er} too high for a clustered topology");
+        assert!(
+            er <= 12,
+            "effective rank {er} too high for a clustered topology"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl ConfusionMatrix {
     /// `[[P(G|G), P(B|G)], [P(G|B), P(B|B)]]` as percentages.
     pub fn as_percentages(&self) -> [[f64; 2]; 2] {
         [
-            [self.good_recall() * 100.0, (1.0 - self.good_recall()) * 100.0],
+            [
+                self.good_recall() * 100.0,
+                (1.0 - self.good_recall()) * 100.0,
+            ],
             [(1.0 - self.bad_recall()) * 100.0, self.bad_recall() * 100.0],
         ]
     }
@@ -151,12 +154,7 @@ mod tests {
 
     #[test]
     fn percentages_layout() {
-        let samples = vec![
-            s(true, 1.0),
-            s(true, 1.0),
-            s(true, -1.0),
-            s(false, -1.0),
-        ];
+        let samples = vec![s(true, 1.0), s(true, 1.0), s(true, -1.0), s(false, -1.0)];
         let p = ConfusionMatrix::at_sign(&samples).as_percentages();
         assert!((p[0][0] - 200.0 / 3.0).abs() < 1e-9); // P(G|G)
         assert!((p[0][1] - 100.0 / 3.0).abs() < 1e-9); // P(B|G)

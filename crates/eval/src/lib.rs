@@ -18,6 +18,15 @@
 //!
 //! All functions take plain score/label pairs, so they evaluate any
 //! predictor — DMFSGD, the baselines, or an oracle.
+//!
+//! # Position in the workspace
+//!
+//! Depends only on [`dmf_linalg`] (score matrices) and
+//! [`dmf_datasets`] (class matrices): [`collect_scores`] pairs a
+//! [`dmf_datasets::ClassMatrix`] with a predictor's
+//! [`dmf_linalg::Matrix`] of scores into the [`ScoredLabel`]s every
+//! criterion consumes. `dmf-baselines`, `dmf-agent` and `dmf-bench`
+//! all report through this crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -133,9 +133,12 @@ pub fn evaluate_peer_selection(
         }
 
         // Satisfaction criterion.
-        let any_good = usable
-            .iter()
-            .any(|&p| dataset.metric.classify(dataset.value(i, p).expect("filtered"), tau) > 0.0);
+        let any_good = usable.iter().any(|&p| {
+            dataset
+                .metric
+                .classify(dataset.value(i, p).expect("filtered"), tau)
+                > 0.0
+        });
         if any_good {
             satisfaction_nodes += 1;
             let selected_good = dataset.metric.classify(x_selected, tau) > 0.0;
@@ -172,13 +175,7 @@ mod tests {
     /// Oracle scores: negative RTT, so HighestScore picks the true best.
     fn oracle_scores(d: &Dataset) -> Matrix {
         let n = d.len();
-        Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                0.0
-            } else {
-                -d.values[(i, j)]
-            }
-        })
+        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { -d.values[(i, j)] })
     }
 
     #[test]
@@ -288,7 +285,11 @@ mod tests {
             .map(|i| (0..30).filter(|&p| p != i).take(10).collect())
             .collect();
         let out = evaluate_peer_selection(&d, tau, &peer_sets, SelectionStrategy::Random, &mut rng);
-        assert!(out.avg_stretch <= 1.0 + 1e-12, "ABW stretch {}", out.avg_stretch);
+        assert!(
+            out.avg_stretch <= 1.0 + 1e-12,
+            "ABW stretch {}",
+            out.avg_stretch
+        );
         assert!(out.avg_stretch > 0.0);
     }
 }

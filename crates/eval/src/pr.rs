@@ -83,7 +83,10 @@ mod tests {
         let samples = vec![s(true, 3.0), s(true, 2.0), s(false, 1.0), s(false, 0.5)];
         let curve = pr_curve(&samples);
         // While recall < 1 every predicted positive is a true positive.
-        for p in curve.iter().filter(|p| p.recall <= 1.0 && p.threshold >= 2.0) {
+        for p in curve
+            .iter()
+            .filter(|p| p.recall <= 1.0 && p.threshold >= 2.0)
+        {
             assert_eq!(p.precision, 1.0);
         }
         assert_eq!(average_precision(&samples), 1.0);

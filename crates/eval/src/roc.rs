@@ -81,7 +81,10 @@ pub fn auc_from_curve(curve: &[RocPoint]) -> f64 {
 pub fn auc_mann_whitney(samples: &[ScoredLabel]) -> f64 {
     let positives = samples.iter().filter(|s| s.positive).count();
     let negatives = samples.len() - positives;
-    assert!(positives > 0 && negatives > 0, "AUC undefined for one class");
+    assert!(
+        positives > 0 && negatives > 0,
+        "AUC undefined for one class"
+    );
 
     // Rank-based computation: O(n log n).
     let mut sorted: Vec<&ScoredLabel> = samples.iter().collect();

@@ -8,13 +8,16 @@ use proptest::prelude::*;
 /// A strategy producing sample sets containing both classes.
 fn mixed_samples() -> impl Strategy<Value = Vec<ScoredLabel>> {
     (
-        proptest::collection::vec((-100.0f64..100.0), 1..40),
-        proptest::collection::vec((-100.0f64..100.0), 1..40),
+        proptest::collection::vec(-100.0f64..100.0, 1..40),
+        proptest::collection::vec(-100.0f64..100.0, 1..40),
     )
         .prop_map(|(pos, neg)| {
             let mut v: Vec<ScoredLabel> = pos
                 .into_iter()
-                .map(|score| ScoredLabel { positive: true, score })
+                .map(|score| ScoredLabel {
+                    positive: true,
+                    score,
+                })
                 .collect();
             v.extend(neg.into_iter().map(|score| ScoredLabel {
                 positive: false,

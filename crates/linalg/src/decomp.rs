@@ -110,12 +110,7 @@ pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
 
 /// Truncates an SVD-style factorization to rank `r`:
 /// returns `U_r Σ_r V_rᵀ` given the full factors.
-pub fn low_rank_approximation(
-    u: &Matrix,
-    singular_values: &[f64],
-    v: &Matrix,
-    r: usize,
-) -> Matrix {
+pub fn low_rank_approximation(u: &Matrix, singular_values: &[f64], v: &Matrix, r: usize) -> Matrix {
     let r = r.min(singular_values.len());
     let (m, _) = u.shape();
     let (n, _) = v.shape();
@@ -219,11 +214,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let (q, r) = qr(&a);
         let qr_prod = q.matmul(&r);
         assert!(qr_prod.sub(&a).frobenius_norm() < 1e-10);
@@ -246,11 +237,7 @@ mod tests {
     #[test]
     fn qr_handles_rank_deficiency() {
         // Third column = first + second.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 1.0],
-            &[1.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 2.0]]);
         let (q, r) = qr(&a);
         assert!(q.matmul(&r).sub(&a).frobenius_norm() < 1e-9);
         assert!(r[(2, 2)].abs() < 1e-9, "dependent column should zero out");

@@ -25,6 +25,14 @@
 //!
 //! Everything is deterministic given a seed; the crate has no global
 //! state and no interior mutability.
+//!
+//! # Position in the workspace
+//!
+//! `dmf-linalg` is the root of the crate DAG — it depends on nothing
+//! but the vendored `rand`/`serde`. Every other crate builds on it:
+//! `dmf-datasets` stores pairwise measurements in a [`Matrix`] with a
+//! [`Mask`], `dmf-core` evaluates predictions into one, and
+//! `dmf-bench` regenerates the paper's Figure 1 from [`svd`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

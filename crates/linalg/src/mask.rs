@@ -76,10 +76,7 @@ impl Mask {
         if off_diag == 0 {
             return 0.0;
         }
-        let known = self
-            .iter_known()
-            .filter(|&(i, j)| i != j)
-            .count();
+        let known = self.iter_known().filter(|&(i, j)| i != j).count();
         known as f64 / off_diag as f64
     }
 

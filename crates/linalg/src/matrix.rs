@@ -233,7 +233,10 @@ impl Matrix {
     /// Used to cut the paper's 2255² / 201² Figure-1 matrices out of the
     /// full synthetic datasets.
     pub fn submatrix(&self, rows: usize, cols: usize) -> Matrix {
-        assert!(rows <= self.rows && cols <= self.cols, "submatrix too large");
+        assert!(
+            rows <= self.rows && cols <= self.cols,
+            "submatrix too large"
+        );
         Matrix::from_fn(rows, cols, |i, j| self[(i, j)])
     }
 
@@ -288,7 +291,12 @@ impl fmt::Debug for Matrix {
                 .iter()
                 .map(|x| format!("{x:9.3}"))
                 .collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > show {
             writeln!(f, "  …")?;

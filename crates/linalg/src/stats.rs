@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn normal_sample_moments() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let samples: Vec<f64> = (0..20_000).map(|_| normal_sample(&mut rng, 3.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| normal_sample(&mut rng, 3.0, 2.0))
+            .collect();
         assert!((mean(&samples) - 3.0).abs() < 0.1);
         assert!((std_dev(&samples) - 2.0).abs() < 0.1);
     }
@@ -185,8 +187,9 @@ mod tests {
     #[test]
     fn log_normal_median_is_exp_mu() {
         let mut rng = ChaCha8Rng::seed_from_u64(43);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| log_normal_sample(&mut rng, 2.0, 0.5)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| log_normal_sample(&mut rng, 2.0, 0.5))
+            .collect();
         let med = median(&samples);
         assert!(
             (med - 2.0f64.exp()).abs() < 0.25,

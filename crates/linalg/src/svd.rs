@@ -122,7 +122,11 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
         }
         *sigma = norm.sqrt();
     }
-    order.sort_by(|&x, &y| sigmas[y].partial_cmp(&sigmas[x]).expect("NaN singular value"));
+    order.sort_by(|&x, &y| {
+        sigmas[y]
+            .partial_cmp(&sigmas[x])
+            .expect("NaN singular value")
+    });
 
     let mut u = Matrix::zeros(m, n);
     let mut v_sorted = Matrix::zeros(n, n);
@@ -248,7 +252,9 @@ mod tests {
     #[test]
     fn reconstruction_and_orthogonality() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let a = Matrix::from_fn(12, 7, |_, _| crate::stats::normal_sample(&mut rng, 0.0, 1.0));
+        let a = Matrix::from_fn(12, 7, |_, _| {
+            crate::stats::normal_sample(&mut rng, 0.0, 1.0)
+        });
         let svd = jacobi_svd(&a);
         assert!(svd.reconstruct().sub(&a).frobenius_norm() < 1e-8);
         assert_orthonormal_cols(&svd.v, 1e-8);
@@ -286,7 +292,9 @@ mod tests {
         // σ(A)² must equal eigenvalues of AᵀA; check the largest via
         // power iteration on the Gram matrix.
         let mut rng = ChaCha8Rng::seed_from_u64(14);
-        let a = Matrix::from_fn(15, 10, |_, _| crate::stats::normal_sample(&mut rng, 0.0, 1.0));
+        let a = Matrix::from_fn(15, 10, |_, _| {
+            crate::stats::normal_sample(&mut rng, 0.0, 1.0)
+        });
         let gram = a.transpose().matmul(&a);
         // Power iteration.
         let mut x = vec![1.0; 10];

@@ -108,7 +108,11 @@ pub fn encode(msg: &Message) -> Bytes {
             put_coords(&mut payload, u);
             put_coords(&mut payload, v);
         }
-        Message::AbwProbe { nonce, rate_mbps, u } => {
+        Message::AbwProbe {
+            nonce,
+            rate_mbps,
+            u,
+        } => {
             check_rank(u);
             payload.put_u64_le(*nonce);
             payload.put_f64_le(*rate_mbps);
@@ -220,7 +224,11 @@ pub fn decode(datagram: &[u8]) -> Result<Message, DecodeError> {
                 return Err(DecodeError::BadValue);
             }
             let u = get_coords(&mut payload)?;
-            Message::AbwProbe { nonce, rate_mbps, u }
+            Message::AbwProbe {
+                nonce,
+                rate_mbps,
+                u,
+            }
         }
         4 => {
             let nonce = need_u64(&mut payload)?;
@@ -276,7 +284,9 @@ mod tests {
 
     #[test]
     fn golden_rtt_probe_layout() {
-        let wire = encode(&Message::RttProbe { nonce: 0x0102_0304_0506_0708 });
+        let wire = encode(&Message::RttProbe {
+            nonce: 0x0102_0304_0506_0708,
+        });
         // magic LE
         assert_eq!(&wire[0..2], &[0xF5, 0xD3]);
         assert_eq!(wire[2], VERSION);

@@ -22,6 +22,14 @@
 //! bounded by [`codec::MAX_RANK`] so a hostile datagram cannot make a
 //! node allocate unbounded memory — malformed input of any kind
 //! produces a typed [`codec::DecodeError`], never a panic.
+//!
+//! # Position in the workspace
+//!
+//! A leaf crate: it depends only on the vendored `bytes` and knows
+//! nothing about datasets or algorithms — [`Message`] carries plain
+//! nonces, rates, labels and coordinate vectors. Its one consumer is
+//! `dmf-agent`, whose UDP agents speak this format on the wire;
+//! `dmf-bench` micro-benchmarks [`encode`]/[`decode`] throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -72,9 +72,21 @@ mod tests {
     fn type_tags_distinct() {
         let msgs = [
             Message::RttProbe { nonce: 1 },
-            Message::RttReply { nonce: 1, u: vec![], v: vec![] },
-            Message::AbwProbe { nonce: 1, rate_mbps: 1.0, u: vec![] },
-            Message::AbwReply { nonce: 1, x: 1.0, v: vec![] },
+            Message::RttReply {
+                nonce: 1,
+                u: vec![],
+                v: vec![],
+            },
+            Message::AbwProbe {
+                nonce: 1,
+                rate_mbps: 1.0,
+                u: vec![],
+            },
+            Message::AbwReply {
+                nonce: 1,
+                x: 1.0,
+                v: vec![],
+            },
         ];
         let mut tags: Vec<u8> = msgs.iter().map(|m| m.type_tag()).collect();
         tags.sort_unstable();
@@ -86,7 +98,12 @@ mod tests {
     fn nonce_accessor() {
         assert_eq!(Message::RttProbe { nonce: 99 }.nonce(), 99);
         assert_eq!(
-            Message::AbwReply { nonce: 7, x: -1.0, v: vec![1.0] }.nonce(),
+            Message::AbwReply {
+                nonce: 7,
+                x: -1.0,
+                v: vec![1.0]
+            }
+            .nonce(),
             7
         );
     }

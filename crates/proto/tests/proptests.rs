@@ -15,7 +15,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
             Message::RttReply { nonce, u, v }
         }),
         (any::<u64>(), 0.001f64..1e4, coords(32)).prop_map(|(nonce, rate_mbps, u)| {
-            Message::AbwProbe { nonce, rate_mbps, u }
+            Message::AbwProbe {
+                nonce,
+                rate_mbps,
+                u,
+            }
         }),
         (any::<u64>(), any::<bool>(), coords(32)).prop_map(|(nonce, good, v)| {
             Message::AbwReply {

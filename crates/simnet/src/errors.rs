@@ -78,7 +78,9 @@ pub fn inject(
         ErrorModel::FlipNearTau { delta } => {
             assert!(delta >= 0.0, "delta must be non-negative");
             for (i, j) in known {
-                let Some(v) = dataset.value(i, j) else { continue };
+                let Some(v) = dataset.value(i, j) else {
+                    continue;
+                };
                 if (v - tau).abs() <= delta && rng.gen::<f64>() < 0.5 {
                     let old = class.labels[(i, j)];
                     class.set_label(i, j, -old);
@@ -89,7 +91,9 @@ pub fn inject(
         ErrorModel::UnderestimationBias { delta } => {
             assert!(delta >= 0.0, "delta must be non-negative");
             for (i, j) in known {
-                let Some(v) = dataset.value(i, j) else { continue };
+                let Some(v) = dataset.value(i, j) else {
+                    continue;
+                };
                 let gap = good_side_gap(dataset, tau, v);
                 if gap > 0.0 && gap <= delta && class.labels[(i, j)] > 0.0 {
                     class.set_label(i, j, -1.0);
@@ -140,12 +144,7 @@ pub enum BandErrorKind {
 ///   that the band contains `2 · target_error` of the paths.
 /// * Type 2 flips every good path inside the band, so δ is chosen such
 ///   that the band (on the good side of τ) contains `target_error`.
-pub fn calibrate_delta(
-    dataset: &Dataset,
-    tau: f64,
-    target_error: f64,
-    kind: BandErrorKind,
-) -> f64 {
+pub fn calibrate_delta(dataset: &Dataset, tau: f64, target_error: f64, kind: BandErrorKind) -> f64 {
     assert!(
         (0.0..0.5).contains(&target_error),
         "target error must be in [0, 0.5), got {target_error}"
@@ -273,7 +272,12 @@ mod tests {
         let base = d.classify(d.median());
         let mut noisy = base.clone();
         let mut rng = ChaCha8Rng::seed_from_u64(14);
-        inject(&mut noisy, &d, ErrorModel::FlipRandom { fraction: 0.10 }, &mut rng);
+        inject(
+            &mut noisy,
+            &d,
+            ErrorModel::FlipRandom { fraction: 0.10 },
+            &mut rng,
+        );
         let level = error_level(&base, &noisy);
         assert!((level - 0.10).abs() < 0.02, "level {level}");
     }
@@ -288,7 +292,9 @@ mod tests {
         inject(
             &mut noisy,
             &d,
-            ErrorModel::GoodToBad { fraction_of_good: frac },
+            ErrorModel::GoodToBad {
+                fraction_of_good: frac,
+            },
             &mut rng,
         );
         let level = error_level(&base, &noisy);
@@ -309,14 +315,20 @@ mod tests {
         let d5 = calibrate_delta(&d, tau, 0.05, BandErrorKind::FlipNearTau);
         let d10 = calibrate_delta(&d, tau, 0.10, BandErrorKind::FlipNearTau);
         let d15 = calibrate_delta(&d, tau, 0.15, BandErrorKind::FlipNearTau);
-        assert!(d5 < d10 && d10 < d15, "δ must be increasing: {d5} {d10} {d15}");
+        assert!(
+            d5 < d10 && d10 < d15,
+            "δ must be increasing: {d5} {d10} {d15}"
+        );
     }
 
     #[test]
     fn zero_target_means_zero_delta() {
         let d = meridian_like(50, 7);
         let tau = d.median();
-        assert_eq!(calibrate_delta(&d, tau, 0.0, BandErrorKind::FlipNearTau), 0.0);
+        assert_eq!(
+            calibrate_delta(&d, tau, 0.0, BandErrorKind::FlipNearTau),
+            0.0
+        );
     }
 
     #[test]
@@ -325,7 +337,12 @@ mod tests {
         let base = d.classify(d.median());
         let mut noisy = base.clone();
         let mut rng = ChaCha8Rng::seed_from_u64(16);
-        let changed = inject(&mut noisy, &d, ErrorModel::FlipRandom { fraction: 0.2 }, &mut rng);
+        let changed = inject(
+            &mut noisy,
+            &d,
+            ErrorModel::FlipRandom { fraction: 0.2 },
+            &mut rng,
+        );
         assert_eq!(changed, base.disagreement_count(&noisy));
     }
 }

@@ -88,7 +88,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time: at, seq, event });
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedules `event` after a relative `delay`.

@@ -20,6 +20,14 @@
 //!   δ/p calibration that reproduces Table 3.
 //! * [`neighbors`] — random `k`-neighbor sets (the Vivaldi-style
 //!   architecture of §5.3) and the disjoint peer sets of §6.4.
+//!
+//! # Position in the workspace
+//!
+//! Sits between [`dmf_datasets`] (ground truth the probers measure —
+//! one-way delays derive from a [`dmf_datasets::Dataset`]) and
+//! `dmf-core`, whose `runner` module drives the DMFSGD node state
+//! machines through [`SimNet`] message passing. `dmf-agent` reuses
+//! the same [`probe`] instruments against its measurement oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -26,9 +26,7 @@ impl NeighborSets {
     pub fn random(n: usize, k: usize, rng: &mut impl Rng) -> Self {
         assert!(n >= 2, "need at least two nodes");
         assert!(k >= 1 && k < n, "k must satisfy 1 <= k < n (k={k}, n={n})");
-        let sets = (0..n)
-            .map(|i| sample_distinct(n, k, &[i], rng))
-            .collect();
+        let sets = (0..n).map(|i| sample_distinct(n, k, &[i], rng)).collect();
         Self { sets }
     }
 
@@ -144,10 +142,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let ns = NeighborSets::random(40, 8, &mut rng);
         let peers = ns.disjoint_peer_sets(10, &mut rng);
-        for i in 0..40 {
-            assert_eq!(peers[i].len(), 10);
-            assert!(!peers[i].contains(&i));
-            for p in &peers[i] {
+        for (i, peer_set) in peers.iter().enumerate() {
+            assert_eq!(peer_set.len(), 10);
+            assert!(!peer_set.contains(&i));
+            for p in peer_set {
                 assert!(
                     !ns.neighbors(i).contains(p),
                     "peer {p} of node {i} is also a neighbor"

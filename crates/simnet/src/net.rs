@@ -205,7 +205,14 @@ mod tests {
         );
         net.send(0, 1, "probe");
         let (t, delivery) = net.next_delivery().unwrap();
-        assert_eq!(delivery, Delivery { from: 0, to: 1, msg: "probe" });
+        assert_eq!(
+            delivery,
+            Delivery {
+                from: 0,
+                to: 1,
+                msg: "probe"
+            }
+        );
         let expected = d.values[(0, 1)] / 2.0 / 1000.0;
         assert!((t - expected).abs() < 1e-12, "t={t}, expected {expected}");
     }
@@ -245,7 +252,11 @@ mod tests {
         }
         let stats = net.stats();
         assert_eq!(stats.sent, 1000);
-        assert!(stats.dropped > 350 && stats.dropped < 650, "dropped {}", stats.dropped);
+        assert!(
+            stats.dropped > 350 && stats.dropped < 650,
+            "dropped {}",
+            stats.dropped
+        );
         assert_eq!(net.pending_messages() + stats.dropped, 1000);
     }
 

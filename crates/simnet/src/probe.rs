@@ -11,7 +11,7 @@
 //! * [`PathloadProber`] — binary class at rate `τ`; unreliable exactly
 //!   when the true ABW is close to `τ` (paper §3.2 / error Type 1).
 //! * [`PathchirpProber`] — coarse quantity with a systematic
-//!   *underestimation bias* (paper §6.3 / error Type 2, citing [15]).
+//!   *underestimation bias* (paper §6.3 / error Type 2, citing \[15\]).
 
 use dmf_datasets::{Dataset, Metric};
 use dmf_linalg::stats::log_normal_sample;
@@ -41,7 +41,11 @@ impl RttProber {
         j: usize,
         rng: &mut (impl Rng + ?Sized),
     ) -> Option<f64> {
-        assert_eq!(dataset.metric, Metric::Rtt, "RttProber needs an RTT dataset");
+        assert_eq!(
+            dataset.metric,
+            Metric::Rtt,
+            "RttProber needs an RTT dataset"
+        );
         let base = dataset.value(i, j)?;
         let noise = if self.noise_sigma > 0.0 {
             log_normal_sample(rng, 0.0, self.noise_sigma)
@@ -64,7 +68,9 @@ pub struct PathloadProber {
 
 impl Default for PathloadProber {
     fn default() -> Self {
-        Self { unreliable_band: 0.05 }
+        Self {
+            unreliable_band: 0.05,
+        }
     }
 }
 
@@ -79,7 +85,11 @@ impl PathloadProber {
         rate: f64,
         rng: &mut (impl Rng + ?Sized),
     ) -> Option<f64> {
-        assert_eq!(dataset.metric, Metric::Abw, "PathloadProber needs an ABW dataset");
+        assert_eq!(
+            dataset.metric,
+            Metric::Abw,
+            "PathloadProber needs an ABW dataset"
+        );
         assert!(rate > 0.0, "probe rate must be positive");
         let abw = dataset.value(i, j)?;
         let band = rate * self.unreliable_band;
@@ -119,7 +129,11 @@ impl PathchirpProber {
         j: usize,
         rng: &mut (impl Rng + ?Sized),
     ) -> Option<f64> {
-        assert_eq!(dataset.metric, Metric::Abw, "PathchirpProber needs an ABW dataset");
+        assert_eq!(
+            dataset.metric,
+            Metric::Abw,
+            "PathchirpProber needs an ABW dataset"
+        );
         let base = dataset.value(i, j)?;
         let noise = log_normal_sample(rng, 0.0, self.noise_sigma);
         Some(base * (1.0 - self.underestimation_bias) * noise)
@@ -168,13 +182,19 @@ mod tests {
             .sum::<f64>()
             / 5000.0;
         // Log-normal with sigma 0.1 has mean exp(sigma²/2) ≈ 1.005.
-        assert!((mean / truth - 1.0).abs() < 0.03, "mean ratio {}", mean / truth);
+        assert!(
+            (mean / truth - 1.0).abs() < 0.03,
+            "mean ratio {}",
+            mean / truth
+        );
     }
 
     #[test]
     fn pathload_far_from_rate_is_exact() {
         let d = hps3_like(40, 3);
-        let prober = PathloadProber { unreliable_band: 0.05 };
+        let prober = PathloadProber {
+            unreliable_band: 0.05,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for (i, j) in d.mask.iter_known().take(200) {
             let abw = d.values[(i, j)];
@@ -189,7 +209,9 @@ mod tests {
     #[test]
     fn pathload_near_rate_is_cointoss() {
         let d = hps3_like(40, 4);
-        let prober = PathloadProber { unreliable_band: 0.05 };
+        let prober = PathloadProber {
+            unreliable_band: 0.05,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let (i, j) = d.mask.iter_known().next().unwrap();
         let abw = d.values[(i, j)];

@@ -26,8 +26,7 @@ fn main() {
             lambda: 0.1,
             loss: Loss::Logistic,
         };
-        let mut system =
-            MulticlassSystem::new(n, 10, 10, clf, params, Metric::Rtt, classes as u64);
+        let mut system = MulticlassSystem::new(n, 10, 10, clf, params, Metric::Rtt, classes as u64);
         system.run(n * 10 * 40, &labels);
         let (exact, within_one, mae) = system.evaluate(&labels);
         println!(

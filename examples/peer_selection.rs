@@ -44,19 +44,30 @@ fn main() {
     qcfg.seed = 2;
     let mut quantity_system = DmfsgdSystem::new(n, qcfg);
     quantity_system.run(budget, &mut quantity_provider);
-    let predicted_quantities =
-        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { quantity_system.predict(i, j) });
+    let predicted_quantities = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            quantity_system.predict(i, j)
+        }
+    });
 
     // Each node draws a peer set disjoint from its training neighbors.
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let neighbors = NeighborSets::random(n, k, &mut rng);
 
-    println!("\n{:>6} {:>28} {:>10} {:>12}", "peers", "method", "stretch", "unsatisfied");
+    println!(
+        "\n{:>6} {:>28} {:>10} {:>12}",
+        "peers", "method", "stretch", "unsatisfied"
+    );
     for m in [10, 20, 40] {
         let peer_sets = neighbors.disjoint_peer_sets(m, &mut rng);
         let runs: [(&str, SelectionStrategy); 3] = [
             ("Random", SelectionStrategy::Random),
-            ("Classification (cheap)", SelectionStrategy::HighestScore(&class_scores)),
+            (
+                "Classification (cheap)",
+                SelectionStrategy::HighestScore(&class_scores),
+            ),
             (
                 "Regression (costly)",
                 SelectionStrategy::BestPredictedQuantity(&predicted_quantities, dataset.metric),

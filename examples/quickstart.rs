@@ -7,8 +7,8 @@
 
 use dmfsgd::core::{provider::ClassLabelProvider, DmfsgdConfig, DmfsgdSystem};
 use dmfsgd::datasets::rtt::meridian_like;
-use dmfsgd::eval::{collect_scores, ConfusionMatrix};
 use dmfsgd::eval::roc::auc;
+use dmfsgd::eval::{collect_scores, ConfusionMatrix};
 
 fn main() {
     // 1. Ground truth: a 300-node RTT dataset with the Meridian
@@ -16,7 +16,11 @@ fn main() {
     //    here it is the calibrated synthetic substitute.
     let n = 300;
     let dataset = meridian_like(n, 42);
-    println!("dataset: {} nodes, median RTT {:.1} ms", n, dataset.median());
+    println!(
+        "dataset: {} nodes, median RTT {:.1} ms",
+        n,
+        dataset.median()
+    );
 
     // 2. Classification threshold τ: the median ⇒ 50% good paths.
     let tau = dataset.median();
@@ -51,8 +55,11 @@ fn main() {
     println!("P(G|B) = {:.1}%   P(B|B) = {:.1}%", p[1][0], p[1][1]);
 
     assert!(roc_auc > 0.85, "quickstart should reach AUC > 0.85");
-    println!("\nok: class-based prediction from {}% of the pairwise measurements", {
-        let probed = (config.k as f64) / (n as f64 - 1.0) * 100.0;
-        format!("{probed:.1}")
-    });
+    println!(
+        "\nok: class-based prediction from {}% of the pairwise measurements",
+        {
+            let probed = (config.k as f64) / (n as f64 - 1.0) * 100.0;
+            format!("{probed:.1}")
+        }
+    );
 }

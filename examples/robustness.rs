@@ -50,7 +50,10 @@ fn main() {
                 delta: calibrate_delta(&dataset, tau, level, BandErrorKind::UnderestimationBias),
             },
         ),
-        ("Type 3: random flips (malicious)", ErrorModel::FlipRandom { fraction: level }),
+        (
+            "Type 3: random flips (malicious)",
+            ErrorModel::FlipRandom { fraction: level },
+        ),
         (
             "Type 4: good→bad (traffic bursts)",
             ErrorModel::GoodToBad {
@@ -62,7 +65,11 @@ fn main() {
         let mut noisy = clean.clone();
         let changed = inject(&mut noisy, &dataset, model, &mut rng);
         let achieved = changed as f64 / clean.mask.count_known() as f64 * 100.0;
-        println!("{:>42} {:>7.3}   ({achieved:.1}% labels flipped)", name, train(&noisy));
+        println!(
+            "{:>42} {:>7.3}   ({achieved:.1}% labels flipped)",
+            name,
+            train(&noisy)
+        );
     }
 
     println!(

@@ -13,6 +13,24 @@
 //! calibrated synthetic Harvard/Meridian/HP-S3 equivalents) and
 //! [`eval`] (ROC/AUC, peer selection).
 //!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`linalg`] | `dmf-linalg` | matrices, masks, SVD/QR, statistics |
+//! | [`datasets`] | `dmf-datasets` | calibrated synthetic datasets and loaders |
+//! | [`simnet`] | `dmf-simnet` | discrete-event network, probers, label errors |
+//! | [`core`] | `dmf-core` | the DMFSGD algorithms and drivers |
+//! | [`eval`] | `dmf-eval` | ROC/AUC, PR, confusion, convergence, peer selection |
+//! | [`proto`] | `dmf-proto` | binary wire protocol |
+//! | [`baselines`] | `dmf-baselines` | Vivaldi, centralized MF, oracle selection |
+//! | [`agent`] | `dmf-agent` | real UDP deployment |
+//!
+//! A narrative walk-through (experiment end-to-end, choosing the
+//! `r`/`η`/`λ`/`k`/`τ` knobs, reading the outputs) lives in
+//! `docs/guide.md`; the paper-artifact-to-binary map is in the
+//! repository `README.md`.
+//!
 //! ## Quick start
 //!
 //! ```

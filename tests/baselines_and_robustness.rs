@@ -60,9 +60,19 @@ fn near_tau_errors_hurt_less_than_random_flips() {
     for round in 0..runs {
         let mut rng = ChaCha8Rng::seed_from_u64(7 + round);
         let mut near_tau = clean.clone();
-        inject(&mut near_tau, &dataset, ErrorModel::FlipNearTau { delta }, &mut rng);
+        inject(
+            &mut near_tau,
+            &dataset,
+            ErrorModel::FlipNearTau { delta },
+            &mut rng,
+        );
         let mut random = clean.clone();
-        inject(&mut random, &dataset, ErrorModel::FlipRandom { fraction: 0.15 }, &mut rng);
+        inject(
+            &mut random,
+            &dataset,
+            ErrorModel::FlipRandom { fraction: 0.15 },
+            &mut rng,
+        );
         auc_near_sum += train_auc(&near_tau, 40 + round);
         auc_random_sum += train_auc(&random, 50 + round);
     }
@@ -125,7 +135,10 @@ fn hinge_and_logistic_both_work_logistic_not_worse() {
     };
     let logistic = run(Loss::Logistic, 1);
     let hinge = run(Loss::Hinge, 1);
-    assert!(logistic > 0.85 && hinge > 0.8, "logistic {logistic}, hinge {hinge}");
+    assert!(
+        logistic > 0.85 && hinge > 0.8,
+        "logistic {logistic}, hinge {hinge}"
+    );
     assert!(
         logistic > hinge - 0.03,
         "logistic ({logistic}) should not trail hinge ({hinge}) meaningfully"

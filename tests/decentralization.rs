@@ -22,8 +22,8 @@ fn oracle_and_simnet_training_agree() {
     oracle_system.run(50 * 10 * 30, &mut provider);
     let auc_oracle = auc(&collect_scores(&classes, &oracle_system.predicted_scores()));
 
-    let mut runner = SimnetRunner::new(dataset, tau, cfg, NetConfig::default())
-        .with_probe_interval(0.5);
+    let mut runner =
+        SimnetRunner::new(dataset, tau, cfg, NetConfig::default()).with_probe_interval(0.5);
     runner.run_for(200.0);
     let auc_simnet = auc(&collect_scores(&classes, &runner.predicted_scores()));
 

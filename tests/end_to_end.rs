@@ -89,9 +89,24 @@ fn accuracy_table_shape_on_all_three_datasets() {
         let mut system = DmfsgdSystem::new(dataset.len(), cfg);
         system.run(dataset.len() * k * 25, &mut provider);
         let cm = ConfusionMatrix::at_sign(&collect_scores(&classes, &system.predicted_scores()));
-        assert!(cm.accuracy() > 0.8, "{}: accuracy {}", dataset.name, cm.accuracy());
-        assert!(cm.good_recall() > 0.7, "{}: G-recall {}", dataset.name, cm.good_recall());
-        assert!(cm.bad_recall() > 0.7, "{}: B-recall {}", dataset.name, cm.bad_recall());
+        assert!(
+            cm.accuracy() > 0.8,
+            "{}: accuracy {}",
+            dataset.name,
+            cm.accuracy()
+        );
+        assert!(
+            cm.good_recall() > 0.7,
+            "{}: G-recall {}",
+            dataset.name,
+            cm.good_recall()
+        );
+        assert!(
+            cm.bad_recall() > 0.7,
+            "{}: B-recall {}",
+            dataset.name,
+            cm.bad_recall()
+        );
     }
 }
 

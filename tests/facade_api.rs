@@ -1,0 +1,83 @@
+//! Pins the `dmfsgd::` facade surface: every re-exported workspace
+//! crate must stay reachable through the facade, and the quick-start
+//! training path must keep its accuracy. A rename or dropped
+//! re-export in `src/lib.rs` fails here before any downstream user
+//! notices.
+
+use dmfsgd::agent::MeasurementOracle;
+use dmfsgd::baselines::vivaldi::VivaldiConfig;
+use dmfsgd::baselines::Vivaldi;
+use dmfsgd::core::provider::ClassLabelProvider;
+use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::datasets::rtt::meridian_like;
+use dmfsgd::datasets::Metric;
+use dmfsgd::eval::{collect_scores, roc::auc};
+use dmfsgd::linalg::{Mask, Matrix};
+use dmfsgd::proto::{decode, encode, Message};
+use dmfsgd::simnet::{EventQueue, NeighborSets};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The quick-start path from the crate docs, via facade paths only:
+/// generate a dataset, train with paper defaults, evaluate AUC.
+#[test]
+fn facade_quick_start_trains_above_auc_080() {
+    let dataset = meridian_like(60, 7);
+    let tau = dataset.median();
+    let classes = dataset.classify(tau);
+
+    let mut provider = ClassLabelProvider::new(classes.clone());
+    let mut system = DmfsgdSystem::new(dataset.len(), DmfsgdConfig::paper_defaults());
+    system.run(60 * 10 * 25, &mut provider);
+
+    let a = auc(&collect_scores(&classes, &system.predicted_scores()));
+    assert!(a > 0.8, "facade quick-start AUC {a} must exceed 0.8");
+}
+
+/// Touches one load-bearing item in each re-exported crate so the
+/// whole facade is compile-time pinned.
+#[test]
+fn every_reexported_crate_is_reachable() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    // linalg
+    let m = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+    assert_eq!(m.rows(), 4);
+    let mask = Mask::full_off_diagonal(4);
+    assert_eq!(mask.count_known(), 12);
+
+    // datasets
+    let dataset = meridian_like(16, 3);
+    assert_eq!(dataset.metric, Metric::Rtt);
+    assert!(dataset.median() > 0.0);
+
+    // simnet
+    let neighbors = NeighborSets::random(16, 4, &mut rng);
+    assert_eq!(neighbors.neighbors(0).len(), 4);
+    let mut queue: EventQueue<u32> = EventQueue::new();
+    queue.schedule_at(1.0, 42);
+    assert_eq!(queue.pop(), Some((1.0, 42)));
+
+    // core
+    let config = DmfsgdConfig::paper_defaults();
+    assert_eq!(config.rank, 10);
+
+    // eval
+    let classes = dataset.classify(dataset.median());
+    let scores = collect_scores(&classes, &Matrix::zeros(16, 16));
+    assert!(!scores.is_empty());
+
+    // proto
+    let wire = encode(&Message::RttProbe { nonce: 99 });
+    assert_eq!(decode(&wire), Ok(Message::RttProbe { nonce: 99 }));
+
+    // baselines
+    let vivaldi = Vivaldi::new(16, VivaldiConfig::default(), &mut rng);
+    assert_eq!(vivaldi.len(), 16);
+
+    // agent
+    let tau = dataset.median();
+    let oracle = MeasurementOracle::new(dataset, tau, 5);
+    let label = oracle.measure_class(0, 1).expect("off-diagonal measurable");
+    assert!(label == 1.0 || label == -1.0);
+}

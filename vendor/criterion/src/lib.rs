@@ -1,0 +1,288 @@
+//! Vendored, dependency-free micro-benchmark harness.
+//!
+//! Reproduces the subset of the [`criterion`] crate API the
+//! workspace's `crates/bench/benches/*` files use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (benches are declared `harness = false`).
+//!
+//! Measurement model: each benchmark is warmed up for ~50 ms, then
+//! timed over `sample_size` samples (default 20); each sample runs a
+//! batch sized so one batch takes roughly 5 ms of wall clock. The
+//! median, minimum and maximum per-iteration times are printed,
+//! along with derived throughput when one was declared. There is no
+//! statistical regression analysis, HTML report, or saved baseline —
+//! this is a wall-clock harness good enough to compare hot paths on
+//! one machine.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up for ~50 ms and estimate the per-iteration cost.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size one batch at ~5 ms.
+        let batch = ((0.005 / per_iter).ceil() as u64).max(1);
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let fmt = |secs: f64| -> String {
+            if secs < 1e-6 {
+                format!("{:.1} ns", secs * 1e9)
+            } else if secs < 1e-3 {
+                format!("{:.2} µs", secs * 1e6)
+            } else if secs < 1.0 {
+                format!("{:.2} ms", secs * 1e3)
+            } else {
+                format!("{secs:.3} s")
+            }
+        };
+        let mut line = format!(
+            "{label:<40} time: [{} {} {}]",
+            fmt(min),
+            fmt(median),
+            fmt(max)
+        );
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / median / (1024.0 * 1024.0);
+                line.push_str(&format!("  thrpt: {rate:.1} MiB/s"));
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median;
+                line.push_str(&format!("  thrpt: {rate:.0} elem/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.name), self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.name), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager; one per process.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored; the
+    /// vendored harness has no tunable CLI).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("encode", 32).name, "encode/32");
+        assert_eq!(BenchmarkId::from_parameter(100).name, "100");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

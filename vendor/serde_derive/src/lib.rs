@@ -1,0 +1,309 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the local
+//! serde subset.
+//!
+//! Implemented directly on `proc_macro` (no syn/quote, which are
+//! unavailable offline). Supports the shapes this workspace actually
+//! derives on:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit or have named fields
+//!   (externally tagged, matching serde's default representation:
+//!   `"Variant"` for unit, `{"Variant": {..fields..}}` otherwise).
+//!
+//! Generics, tuple structs and `#[serde(...)]` attributes are not
+//! supported and fail with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: `(variant, named fields)`; an empty field list is a unit
+    /// variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+/// Skips `#[...]` attribute sequences starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(...)` starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the fields of a named-field body (struct or enum variant).
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found `{other}`"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket
+        // depth zero (groups are atomic tokens, so only `<`/`>` need
+        // tracking).
+        let mut depth = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    i = skip_attributes(&tokens, i);
+    i = skip_visibility(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    match &tokens[i] {
+        TokenTree::Punct(p) if p.as_char() == '<' => {
+            panic!("serde derive (vendored): generic type `{name}` is not supported")
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            let body = g.stream();
+            match kind.as_str() {
+                "struct" => Shape::Struct {
+                    name,
+                    fields: parse_named_fields(&body),
+                },
+                "enum" => {
+                    let tokens: Vec<TokenTree> = body.into_iter().collect();
+                    let mut variants = Vec::new();
+                    let mut j = 0;
+                    while j < tokens.len() {
+                        j = skip_attributes(&tokens, j);
+                        if j >= tokens.len() {
+                            break;
+                        }
+                        let vname = match &tokens[j] {
+                            TokenTree::Ident(id) => id.to_string(),
+                            other => panic!("serde derive: expected variant name, found `{other}`"),
+                        };
+                        j += 1;
+                        let mut vfields = Vec::new();
+                        match tokens.get(j) {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                vfields = parse_named_fields(&g.stream());
+                                j += 1;
+                            }
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                panic!(
+                                    "serde derive (vendored): tuple variant `{name}::{vname}` \
+                                     is not supported"
+                                )
+                            }
+                            _ => {}
+                        }
+                        if let Some(TokenTree::Punct(p)) = tokens.get(j) {
+                            if p.as_char() == ',' {
+                                j += 1;
+                            }
+                        }
+                        variants.push((vname, vfields));
+                    }
+                    Shape::Enum { name, variants }
+                }
+                other => panic!("serde derive: unsupported item kind `{other}`"),
+            }
+        }
+        other => panic!(
+            "serde derive (vendored): only brace-bodied structs/enums are supported, found `{other}`"
+        ),
+    }
+}
+
+/// `#[derive(Serialize)]`: implements `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        )
+                    } else {
+                        let bindings = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}])\
+                             )]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde derive: generated code must parse")
+}
+
+/// `#[derive(Deserialize)]`: implements `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::missing_field(\"{f}\", \"{name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::DeError::missing_field(\
+                                     \"{f}\", \"{name}::{v}\"))?)?,"
+                            )
+                        })
+                        .collect();
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::wrong_type(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde derive: generated code must parse")
+}
