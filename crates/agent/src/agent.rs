@@ -104,7 +104,7 @@ pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats)
                 Metric::Abw => Message::AbwProbe {
                     nonce,
                     rate_mbps: oracle.tau(),
-                    u: node.coords.u.clone(),
+                    u: node.coords.u.to_vec(),
                 },
             };
             outstanding.insert(nonce, target);
@@ -139,7 +139,11 @@ pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats)
             Message::RttProbe { nonce } => {
                 // Algorithm 1 step 2: reply with coordinates.
                 let (u, v) = node.rtt_reply();
-                let reply = Message::RttReply { nonce, u, v };
+                let reply = Message::RttReply {
+                    nonce,
+                    u: u.to_vec(),
+                    v: v.to_vec(),
+                };
                 let _ = socket.send_to(&encode(&reply), src);
             }
             Message::RttReply { nonce, u, v } => {
@@ -175,7 +179,11 @@ pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats)
                     continue;
                 };
                 let v = node.on_abw_probe(x, &u, &params);
-                let reply = Message::AbwReply { nonce, x, v };
+                let reply = Message::AbwReply {
+                    nonce,
+                    x,
+                    v: v.to_vec(),
+                };
                 let _ = socket.send_to(&encode(&reply), src);
             }
             Message::AbwReply { nonce, x, v } => {

@@ -1,0 +1,44 @@
+//! Micro-benchmark: the simnet message loop (`SimnetRunner::run_for`)
+//! at quick scale — the end-to-end event-queue + protocol + SGD hot
+//! path that `perf_suite` times at population scale, and the one hot
+//! path the other benches don't cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmf_core::runner::{ExchangeFidelity, SimnetRunner};
+use dmf_core::DmfsgdConfig;
+use dmf_datasets::rtt::meridian_like;
+use dmf_simnet::NetConfig;
+
+fn bench_simnet_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_run");
+    group.sample_size(10);
+    let n = 80;
+    let duration_s = 30.0;
+    // ~1 probe cycle per node-second.
+    group.throughput(Throughput::Elements((n as f64 * duration_s) as u64));
+    for fidelity in [ExchangeFidelity::Fused, ExchangeFidelity::PerMessage] {
+        let d = meridian_like(n, 1);
+        let tau = d.median();
+        group.bench_with_input(
+            BenchmarkId::new("meridian_quick", format!("{fidelity:?}")),
+            &fidelity,
+            |b, &fidelity| {
+                b.iter(|| {
+                    let mut runner = SimnetRunner::new(
+                        d.clone(),
+                        tau,
+                        DmfsgdConfig::paper_defaults(),
+                        NetConfig::default(),
+                    )
+                    .with_exchange_fidelity(fidelity);
+                    runner.run_for(duration_s);
+                    runner.stats().measurements_completed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simnet_run);
+criterion_main!(benches);

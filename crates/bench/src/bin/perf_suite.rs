@@ -1,0 +1,87 @@
+//! Tracked performance suite: times the training/simulation hot paths
+//! and writes a schema-stable `BENCH.json` for cross-PR comparison.
+//!
+//! ```text
+//! cargo run --release --bin perf_suite                   # Scale::standard → BENCH.json
+//! cargo run --release --bin perf_suite -- --quick        # CI smoke
+//! cargo run --release --bin perf_suite -- --out B.json --label baseline
+//! cargo run --release --bin perf_suite -- --compare BENCH_baseline.json
+//! ```
+
+use dmf_bench::experiments::perf;
+use dmf_bench::report;
+use dmf_bench::Scale;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH.json".into());
+    let label = flag_value(&args, "--label").unwrap_or_else(|| "current".into());
+
+    let suite = perf::run(&scale, &label);
+
+    println!("perf_suite — scale {} (label: {label})", suite.scale);
+    println!(
+        "{}",
+        report::row(
+            &[
+                "metric".into(),
+                "work".into(),
+                "unit".into(),
+                "elapsed_s".into(),
+                "per_sec".into(),
+            ],
+            &[20, 12, 12, 10, 14],
+        )
+    );
+    for m in &suite.metrics {
+        println!(
+            "{}",
+            report::row(
+                &[
+                    m.name.clone(),
+                    format!("{:.0}", m.work),
+                    m.unit.clone(),
+                    format!("{:.3}", m.elapsed_s),
+                    format!("{:.0}", m.per_sec),
+                ],
+                &[20, 12, 12, 10, 14],
+            )
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&suite).expect("serialize perf report");
+    std::fs::write(&out, json).expect("write BENCH json");
+    println!("written: {out}");
+
+    if let Some(baseline_path) = flag_value(&args, "--compare") {
+        let text = std::fs::read_to_string(&baseline_path).expect("read baseline BENCH json");
+        let baseline: perf::PerfReport =
+            serde_json::from_str(&text).expect("parse baseline BENCH json");
+        assert_eq!(
+            baseline.schema_version,
+            perf::SCHEMA_VERSION,
+            "baseline schema differs"
+        );
+        println!();
+        println!(
+            "speedup vs {baseline_path} (label: {}, scale: {})",
+            baseline.label, baseline.scale
+        );
+        if baseline.scale != suite.scale {
+            println!("  WARNING: scales differ; ratios are not comparable");
+        }
+        for m in &suite.metrics {
+            match suite.speedup_over(&baseline, &m.name) {
+                Some(s) => println!("  {:<20} {s:5.2}x", m.name),
+                None => println!("  {:<20} (not in baseline)", m.name),
+            }
+        }
+    }
+}

@@ -39,7 +39,7 @@ fn main() {
         assert!(fig4.small_rank_suffices(d), "fig4 shape for {d}");
     }
     let fig5 = step!("fig5_accuracy", fig5::run(&scale, seed));
-    assert!(fig5.converges_within(20.0), "fig5 convergence");
+    fig5.assert_convergence_bounds();
     let table2 = step!("table2_confusion", table2::run(&scale, seed));
     assert!(table2.shape_holds(), "table2 shape");
     let fig6 = step!("fig6_robustness", fig6::run(&scale, seed));

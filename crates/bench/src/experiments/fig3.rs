@@ -9,6 +9,7 @@
 use crate::experiments::scale::Scale;
 use crate::experiments::training::{auc_of, default_config, BundleTrainer};
 use crate::experiments::trio::Trio;
+use crate::parallel::parallel_map;
 use dmf_core::Loss;
 use serde::{Deserialize, Serialize};
 
@@ -37,46 +38,56 @@ pub struct Fig3 {
     pub cells: Vec<Fig3Cell>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The grid's cells are independent (each trains
+/// its own system from its own seed), so they fan out across cores via
+/// [`parallel_map`]; the cell order — and every byte of the result —
+/// matches the serial loop exactly.
 pub fn run(scale: &Scale, seed: u64) -> Fig3 {
     let trio = Trio::build(scale, seed);
     let trainer = BundleTrainer { trio: &trio, scale };
-    let mut cells = Vec::new();
-    for bundle in trio.bundles() {
-        let tau = bundle.dataset.median();
-        let class = bundle.dataset.classify(tau);
+    // Per-bundle invariants computed once, shared read-only by cells.
+    let classes: Vec<_> = trio
+        .bundles()
+        .iter()
+        .map(|b| b.dataset.classify(b.dataset.median()))
+        .collect();
+    // Descriptors in the historical serial order.
+    let mut grid = Vec::new();
+    for b in 0..trio.bundles().len() {
         for loss in [Loss::Logistic, Loss::Hinge] {
             for &eta in &SWEEP {
-                let mut cfg = default_config(bundle.k, seed ^ 0xe7a);
-                cfg.sgd.eta = eta;
-                cfg.sgd.lambda = 0.1;
-                cfg.sgd.loss = loss;
-                // λη < 1 is required; the (η=1, λ=0.1) corner is valid.
-                let system = trainer.train(bundle, &class, cfg, &[], 0);
-                cells.push(Fig3Cell {
-                    dataset: bundle.name.into(),
-                    swept: "eta".into(),
-                    value: eta,
-                    loss: format!("{loss:?}"),
-                    auc: auc_of(&system, &class),
-                });
+                grid.push((b, loss, "eta", eta));
             }
             for &lambda in &SWEEP {
-                let mut cfg = default_config(bundle.k, seed ^ 0x1a3bda);
-                cfg.sgd.eta = 0.1;
-                cfg.sgd.lambda = lambda;
-                cfg.sgd.loss = loss;
-                let system = trainer.train(bundle, &class, cfg, &[], 0);
-                cells.push(Fig3Cell {
-                    dataset: bundle.name.into(),
-                    swept: "lambda".into(),
-                    value: lambda,
-                    loss: format!("{loss:?}"),
-                    auc: auc_of(&system, &class),
-                });
+                grid.push((b, loss, "lambda", lambda));
             }
         }
     }
+    let cells = parallel_map(grid, |(b, loss, swept, value)| {
+        let bundle = trio.bundles()[b];
+        let class = &classes[b];
+        // λη < 1 is required; the (η=1, λ=0.1) corner is valid.
+        let mut cfg = if swept == "eta" {
+            let mut cfg = default_config(bundle.k, seed ^ 0xe7a);
+            cfg.sgd.eta = value;
+            cfg.sgd.lambda = 0.1;
+            cfg
+        } else {
+            let mut cfg = default_config(bundle.k, seed ^ 0x1a3bda);
+            cfg.sgd.eta = 0.1;
+            cfg.sgd.lambda = value;
+            cfg
+        };
+        cfg.sgd.loss = loss;
+        let system = trainer.train(bundle, class, cfg, &[], 0);
+        Fig3Cell {
+            dataset: bundle.name.into(),
+            swept: swept.into(),
+            value,
+            loss: format!("{loss:?}"),
+            auc: auc_of(&system, class),
+        }
+    });
     Fig3 { cells }
 }
 

@@ -41,14 +41,23 @@ pub struct Fig6 {
     pub cells: Vec<Fig6Cell>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Every (dataset, error type, level) cell trains
+/// independently, so the grid fans out across cores via
+/// [`crate::parallel::parallel_map`] with order-stable results.
 pub fn run(scale: &Scale, seed: u64) -> Fig6 {
     let trio = Trio::build(scale, seed);
-    let mut cells = Vec::new();
-    for bundle in trio.bundles() {
-        let tau = bundle.dataset.median();
-        let clean = bundle.dataset.classify(tau);
-        let ticks = scale.ticks(bundle.dataset.len(), bundle.k);
+    // Per-bundle invariants computed once, shared read-only by cells.
+    let prep: Vec<(f64, dmf_datasets::ClassMatrix, usize)> = trio
+        .bundles()
+        .iter()
+        .map(|b| {
+            let tau = b.dataset.median();
+            let clean = b.dataset.classify(tau);
+            (tau, clean, scale.ticks(b.dataset.len(), b.k))
+        })
+        .collect();
+    let mut grid = Vec::new();
+    for (b, bundle) in trio.bundles().into_iter().enumerate() {
         let types: &[u8] = if bundle.name == "HP-S3" {
             &[1, 2, 3, 4]
         } else {
@@ -56,67 +65,80 @@ pub fn run(scale: &Scale, seed: u64) -> Fig6 {
         };
         for &ty in types {
             for &level in &LEVELS {
-                let model = if level > 0.0 {
-                    Some(match ty {
-                        1 => ErrorModel::FlipNearTau {
-                            delta: calibrate_delta(
-                                &bundle.dataset,
-                                tau,
-                                level,
-                                BandErrorKind::FlipNearTau,
-                            ),
-                        },
-                        2 => ErrorModel::UnderestimationBias {
-                            delta: calibrate_delta(
-                                &bundle.dataset,
-                                tau,
-                                level,
-                                BandErrorKind::UnderestimationBias,
-                            ),
-                        },
-                        3 => ErrorModel::FlipRandom { fraction: level },
-                        4 => ErrorModel::GoodToBad {
-                            fraction_of_good: calibrate_good_to_bad_fraction(&clean, level),
-                        },
-                        other => panic!("unknown error type {other}"),
-                    })
-                } else {
-                    None
-                };
-                // Harvard: trace replay with errors applied at
-                // measurement time; static datasets: label matrix
-                // injection, then random-order training.
-                let (system, achieved) = if bundle.name == "Harvard" {
-                    let errors: Vec<ErrorModel> = model.into_iter().collect();
-                    train_trace_class(
-                        &trio.harvard_trace,
-                        tau,
-                        default_config(bundle.k, seed ^ 0x000f_160b),
-                        &errors,
-                        seed ^ (ty as u64) << 8 ^ 0xf16,
-                    )
-                } else {
-                    let mut noisy = clean.clone();
-                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (ty as u64) << 8 ^ 0xf16);
-                    let changed = match model {
-                        Some(m) => inject(&mut noisy, &bundle.dataset, m, &mut rng),
-                        None => 0,
-                    };
-                    let system =
-                        train_class(&noisy, default_config(bundle.k, seed ^ 0x000f_160b), ticks);
-                    (system, changed as f64 / clean.mask.count_known() as f64)
-                };
-                cells.push(Fig6Cell {
-                    dataset: bundle.name.into(),
-                    error_type: ty,
-                    level,
-                    achieved_level: achieved,
-                    auc: auc_of(&system, &clean),
-                });
+                grid.push((b, ty, level));
             }
         }
     }
+    let cells = crate::parallel::parallel_map(grid, |(b, ty, level)| {
+        let bundle = trio.bundles()[b];
+        let (tau, clean, ticks) = &prep[b];
+        run_cell(&trio, bundle, clean, *tau, *ticks, ty, level, seed)
+    });
     Fig6 { cells }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    trio: &Trio,
+    bundle: &crate::experiments::trio::DatasetBundle,
+    clean: &dmf_datasets::ClassMatrix,
+    tau: f64,
+    ticks: usize,
+    ty: u8,
+    level: f64,
+    seed: u64,
+) -> Fig6Cell {
+    let model = if level > 0.0 {
+        Some(match ty {
+            1 => ErrorModel::FlipNearTau {
+                delta: calibrate_delta(&bundle.dataset, tau, level, BandErrorKind::FlipNearTau),
+            },
+            2 => ErrorModel::UnderestimationBias {
+                delta: calibrate_delta(
+                    &bundle.dataset,
+                    tau,
+                    level,
+                    BandErrorKind::UnderestimationBias,
+                ),
+            },
+            3 => ErrorModel::FlipRandom { fraction: level },
+            4 => ErrorModel::GoodToBad {
+                fraction_of_good: calibrate_good_to_bad_fraction(clean, level),
+            },
+            other => panic!("unknown error type {other}"),
+        })
+    } else {
+        None
+    };
+    // Harvard: trace replay with errors applied at measurement time;
+    // static datasets: label matrix injection, then random-order
+    // training.
+    let (system, achieved) = if bundle.name == "Harvard" {
+        let errors: Vec<ErrorModel> = model.into_iter().collect();
+        train_trace_class(
+            &trio.harvard_trace,
+            tau,
+            default_config(bundle.k, seed ^ 0x000f_160b),
+            &errors,
+            seed ^ (ty as u64) << 8 ^ 0xf16,
+        )
+    } else {
+        let mut noisy = clean.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (ty as u64) << 8 ^ 0xf16);
+        let changed = match model {
+            Some(m) => inject(&mut noisy, &bundle.dataset, m, &mut rng),
+            None => 0,
+        };
+        let system = train_class(&noisy, default_config(bundle.k, seed ^ 0x000f_160b), ticks);
+        (system, changed as f64 / clean.mask.count_known() as f64)
+    };
+    Fig6Cell {
+        dataset: bundle.name.into(),
+        error_type: ty,
+        level,
+        achieved_level: achieved,
+        auc: auc_of(&system, clean),
+    }
 }
 
 impl Fig6 {

@@ -6,6 +6,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod perf;
 pub mod scale;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,243 @@
+//! Tracked wall-clock performance suite (`perf_suite` binary).
+//!
+//! The DMFSGD paper sells the algorithm on scalability — O(r) work per
+//! measurement, no infrastructure — and the related scalable-estimation
+//! literature treats updates/second and end-to-end wall clock as
+//! first-class results. This module measures both for the hot paths of
+//! this reproduction and emits a schema-stable JSON record
+//! (`BENCH.json`) so every PR leaves a comparable perf trajectory.
+//!
+//! The workloads are **fixed-work** (the amount of work depends only on
+//! the [`Scale`] preset and hard-coded seeds, never on elapsed time),
+//! so two runs of the same scale on the same machine are directly
+//! comparable: the wall-clock ratio *is* the speedup.
+//!
+//! Metrics at a glance:
+//!
+//! | name | work unit | what it times |
+//! |---|---|---|
+//! | `sgd_updates` | updates | oracle-driven [`DmfsgdSystem::run`] ticks |
+//! | `meridian_simnet_run` | events (protocol legs, 3/probe) | message-driven [`SimnetRunner::run_for`] |
+//! | `harvard_replay` | measurements | time-ordered trace replay |
+//! | `score_eval` | entries | full-matrix `predicted_scores` |
+
+use crate::experiments::scale::Scale;
+use crate::experiments::training::default_config;
+use dmf_core::provider::ClassLabelProvider;
+use dmf_core::runner::SimnetRunner;
+use dmf_core::DmfsgdSystem;
+use dmf_datasets::dynamic::{harvard_like, HarvardConfig};
+use dmf_datasets::rtt::meridian_like;
+use dmf_simnet::NetConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Bump when the JSON layout changes incompatibly (comparison scripts
+/// key on this).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Simulated seconds the Meridian simnet workload runs for.
+const MERIDIAN_SIM_DURATION_S: f64 = 600.0;
+
+/// How many times the full score matrix is materialized for timing.
+const SCORE_EVAL_REPEATS: usize = 100;
+
+/// How many times the Harvard trace is replayed (training continues
+/// across repeats; the work per repeat is identical).
+const HARVARD_REPLAY_REPEATS: usize = 3;
+
+/// Multiplier on the oracle-driven tick budget.
+const SGD_TICKS_REPEATS: usize = 4;
+
+/// One timed workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfMetric {
+    /// Stable metric identifier (see the module table).
+    pub name: String,
+    /// Units of work processed (updates, events, measurements, entries).
+    pub work: f64,
+    /// What `work` counts.
+    pub unit: String,
+    /// Wall-clock seconds for the whole workload.
+    pub elapsed_s: f64,
+    /// `work / elapsed_s`.
+    pub per_sec: f64,
+}
+
+/// The full suite result, as persisted to `BENCH.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Scale preset name ("quick" / "standard" / "paper").
+    pub scale: String,
+    /// Free-form label (`--label`; e.g. "baseline", a commit id).
+    pub label: String,
+    /// All metrics, in fixed order.
+    pub metrics: Vec<PerfMetric>,
+}
+
+impl PerfReport {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<&PerfMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Wall-clock speedup of `self` over `baseline` for one metric
+    /// (`baseline.elapsed_s / self.elapsed_s`); `None` when either
+    /// side lacks the metric.
+    pub fn speedup_over(&self, baseline: &PerfReport, name: &str) -> Option<f64> {
+        let ours = self.metric(name)?;
+        let theirs = baseline.metric(name)?;
+        Some(theirs.elapsed_s / ours.elapsed_s)
+    }
+}
+
+fn timed(name: &str, unit: &str, work: f64, f: impl FnOnce()) -> PerfMetric {
+    let start = Instant::now();
+    f();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    PerfMetric {
+        name: name.to_string(),
+        work,
+        unit: unit.to_string(),
+        elapsed_s,
+        per_sec: work / elapsed_s.max(1e-12),
+    }
+}
+
+/// Scale preset name for the report.
+pub fn scale_name(scale: &Scale) -> &'static str {
+    if scale.meridian_nodes == Scale::paper().meridian_nodes {
+        "paper"
+    } else if scale.meridian_nodes == Scale::standard().meridian_nodes {
+        "standard"
+    } else {
+        "quick"
+    }
+}
+
+/// Runs the whole suite at `scale`.
+pub fn run(scale: &Scale, label: &str) -> PerfReport {
+    let mut metrics = Vec::new();
+
+    // -- sgd_updates: oracle-driven training ticks --------------------
+    {
+        let d = meridian_like(scale.meridian_nodes, 1);
+        let class = d.classify(d.median());
+        let ticks = scale.ticks(scale.meridian_nodes, scale.k_meridian) * SGD_TICKS_REPEATS;
+        let mut provider = ClassLabelProvider::new(class);
+        let mut system =
+            DmfsgdSystem::new(scale.meridian_nodes, default_config(scale.k_meridian, 1));
+        metrics.push(timed("sgd_updates", "updates", ticks as f64, || {
+            system.run(ticks, &mut provider);
+        }));
+    }
+
+    // -- meridian_simnet_run: the message-driven deployment -----------
+    let runner = {
+        let d = meridian_like(scale.meridian_nodes, 2);
+        let tau = d.median();
+        let mut runner = SimnetRunner::new(
+            d,
+            tau,
+            default_config(scale.k_meridian, 2),
+            NetConfig::default(),
+        );
+        let mut events = 0.0;
+        metrics.push(timed("meridian_simnet_run", "events", 0.0, || {
+            runner.run_for(MERIDIAN_SIM_DURATION_S);
+            let s = runner.stats();
+            // Work unit: *logical protocol legs* — probe, reply and
+            // measurement per cycle — a mode-independent normalization.
+            // (How many queue deliveries execute a cycle depends on
+            // the ExchangeFidelity; elapsed_s is the tracked number.)
+            events = (s.probes_sent * 3) as f64;
+        }));
+        let m = metrics.last_mut().expect("metric just pushed");
+        m.work = events;
+        m.per_sec = events / m.elapsed_s.max(1e-12);
+        runner
+    };
+
+    // -- harvard_replay: time-ordered dynamic trace -------------------
+    {
+        let (trace, gt) = harvard_like(
+            &HarvardConfig::new(scale.harvard_nodes, scale.harvard_measurements),
+            3,
+        );
+        let tau = gt.median();
+        let mut system = DmfsgdSystem::new(scale.harvard_nodes, default_config(scale.k_harvard, 3));
+        metrics.push(timed(
+            "harvard_replay",
+            "measurements",
+            (trace.len() * HARVARD_REPLAY_REPEATS) as f64,
+            || {
+                for _ in 0..HARVARD_REPLAY_REPEATS {
+                    system.run_trace(&trace, tau);
+                }
+            },
+        ));
+    }
+
+    // -- score_eval: full-matrix U·Vᵀ materialization ------------------
+    {
+        let n = scale.meridian_nodes;
+        let entries = (n * n * SCORE_EVAL_REPEATS) as f64;
+        let mut scores = dmf_linalg::Matrix::zeros(0, 0);
+        metrics.push(timed("score_eval", "entries", entries, || {
+            for _ in 0..SCORE_EVAL_REPEATS {
+                runner.predicted_scores_into(&mut scores);
+                std::hint::black_box(&scores);
+            }
+        }));
+    }
+
+    PerfReport {
+        schema_version: SCHEMA_VERSION,
+        scale: scale_name(scale).to_string(),
+        label: label.to_string(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_emits_all_metrics() {
+        let report = run(&Scale::quick(), "test");
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.scale, "quick");
+        let names: Vec<&str> = report.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "sgd_updates",
+                "meridian_simnet_run",
+                "harvard_replay",
+                "score_eval"
+            ]
+        );
+        for m in &report.metrics {
+            assert!(m.work > 0.0, "{}: no work recorded", m.name);
+            assert!(
+                m.elapsed_s > 0.0 && m.per_sec > 0.0,
+                "{}: no timing",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_is_elapsed_ratio() {
+        let mut a = run(&Scale::quick(), "a");
+        let mut b = a.clone();
+        a.metrics[0].elapsed_s = 2.0;
+        b.metrics[0].elapsed_s = 1.0;
+        let name = a.metrics[0].name.clone();
+        assert_eq!(b.speedup_over(&a, &name), Some(2.0));
+        assert_eq!(b.speedup_over(&a, "no_such_metric"), None);
+    }
+}

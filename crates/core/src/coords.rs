@@ -5,7 +5,14 @@
 //! are initialized with random numbers uniformly distributed between 0
 //! and 1 (§5.3) — the algorithms are empirically insensitive to this
 //! initialization.
+//!
+//! Storage is the inline [`CoordVec`]: for the paper-scale ranks
+//! (`r ≤ 16`) both factors live inside the node itself, so a node is
+//! one contiguous block of memory and snapshotting coordinates for a
+//! protocol message is a copy, not an allocation.
 
+use dmf_linalg::kernels;
+pub use dmf_linalg::CoordVec;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -13,18 +20,21 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Coordinates {
     /// Row of `U`: the node's "outgoing" factor.
-    pub u: Vec<f64>,
+    pub u: CoordVec,
     /// Row of `V`: the node's "incoming" factor.
-    pub v: Vec<f64>,
+    pub v: CoordVec,
 }
 
 impl Coordinates {
     /// Random initialization, uniform in `[0, 1)` (paper §5.3).
+    ///
+    /// Draws `u` first, then `v`, one element at a time — the same RNG
+    /// consumption order as the historical `Vec`-backed initializer.
     pub fn random(rank: usize, rng: &mut impl Rng) -> Self {
         assert!(rank >= 1, "rank must be at least 1");
         Self {
-            u: (0..rank).map(|_| rng.gen::<f64>()).collect(),
-            v: (0..rank).map(|_| rng.gen::<f64>()).collect(),
+            u: CoordVec::from_fn(rank, |_| rng.gen::<f64>()),
+            v: CoordVec::from_fn(rank, |_| rng.gen::<f64>()),
         }
     }
 
@@ -33,7 +43,10 @@ impl Coordinates {
     pub fn from_parts(u: Vec<f64>, v: Vec<f64>) -> Self {
         assert_eq!(u.len(), v.len(), "u/v rank mismatch");
         assert!(!u.is_empty(), "rank must be at least 1");
-        Self { u, v }
+        Self {
+            u: u.into(),
+            v: v.into(),
+        }
     }
 
     /// Coordinate rank `r`.
@@ -53,10 +66,11 @@ impl Coordinates {
     }
 }
 
-/// Dot product helper shared with the update rules.
+/// Dot product helper shared with the update rules (re-exported from
+/// [`dmf_linalg::kernels::dot`]).
+#[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "coordinate rank mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 #[cfg(test)]
@@ -75,6 +89,17 @@ mod tests {
             .iter()
             .chain(c.v.iter())
             .all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn paper_rank_stays_inline() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = Coordinates::random(10, &mut rng);
+        assert!(c.u.is_inline() && c.v.is_inline());
+        // Figure-4 rank sweep goes to 100: must spill, not panic.
+        let big = Coordinates::random(100, &mut rng);
+        assert_eq!(big.rank(), 100);
+        assert!(!big.u.is_inline());
     }
 
     #[test]

@@ -66,7 +66,8 @@ pub mod system;
 pub mod update;
 
 pub use config::{DmfsgdConfig, PredictionMode, SgdParams};
-pub use coords::Coordinates;
+pub use coords::{CoordVec, Coordinates};
 pub use loss::Loss;
 pub use node::DmfsgdNode;
+pub use runner::{ExchangeFidelity, SimnetRunner};
 pub use system::DmfsgdSystem;

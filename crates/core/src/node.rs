@@ -18,7 +18,7 @@
 //! against the same `v_j` that produced `x̂` at `j`.
 
 use crate::config::SgdParams;
-use crate::coords::Coordinates;
+use crate::coords::{CoordVec, Coordinates};
 use crate::update::sgd_step;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -52,8 +52,9 @@ impl DmfsgdNode {
     // ---- Algorithm 1 (RTT, symmetric, sender-inferred) --------------
 
     /// Step 2 at node `j`: reply to an RTT probe with the local
-    /// coordinates.
-    pub fn rtt_reply(&self) -> (Vec<f64>, Vec<f64>) {
+    /// coordinates. For paper-scale ranks (`r ≤ 16`) the returned
+    /// snapshots are inline copies — no allocation.
+    pub fn rtt_reply(&self) -> (CoordVec, CoordVec) {
         (self.coords.u.clone(), self.coords.v.clone())
     }
 
@@ -75,7 +76,7 @@ impl DmfsgdNode {
     /// update `v_j` by eq. 13 using the prober's `u_i`.
     ///
     /// Returns the `v_j` snapshot that must be sent back to node `i`.
-    pub fn on_abw_probe(&mut self, x_ij: f64, u_i: &[f64], params: &SgdParams) -> Vec<f64> {
+    pub fn on_abw_probe(&mut self, x_ij: f64, u_i: &[f64], params: &SgdParams) -> CoordVec {
         let v_snapshot = self.coords.v.clone();
         // eq. 13: v_j ← (1−ηλ)v_j − η ∂l(x_ij, u_i·v_j)/∂v_j
         sgd_step(&mut self.coords.v, u_i, x_ij, params);

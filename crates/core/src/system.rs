@@ -111,8 +111,23 @@ impl DmfsgdSystem {
     }
 
     /// Materializes all pairwise raw scores (diagonal zeroed) for
-    /// evaluation.
+    /// evaluation, batched as one `U·Vᵀ` product over contiguously
+    /// packed coordinate rows. Bitwise-identical to calling
+    /// [`raw_score`](Self::raw_score) per pair.
     pub fn predicted_scores(&self) -> Matrix {
+        crate::runner::batched_scores(&self.nodes)
+    }
+
+    /// [`predicted_scores`](Self::predicted_scores) into an existing
+    /// matrix, reusing its allocation across repeated evaluations.
+    pub fn predicted_scores_into(&self, out: &mut Matrix) {
+        crate::runner::batched_scores_into(&self.nodes, out);
+    }
+
+    /// Reference implementation of
+    /// [`predicted_scores`](Self::predicted_scores): one per-pair dot
+    /// at a time. Kept for the equivalence property tests.
+    pub fn predicted_scores_naive(&self) -> Matrix {
         let n = self.len();
         Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { self.raw_score(i, j) })
     }
@@ -324,6 +339,16 @@ mod tests {
             assert_eq!(scores[(i, i)], 0.0);
         }
         assert_eq!(scores[(0, 1)], sys.raw_score(0, 1));
+    }
+
+    #[test]
+    fn batched_scores_match_naive_per_pair() {
+        let d = meridian_like(35, 9);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm);
+        let mut sys = DmfsgdSystem::new(35, DmfsgdConfig::paper_defaults());
+        sys.run(2000, &mut provider);
+        assert_eq!(sys.predicted_scores(), sys.predicted_scores_naive());
     }
 
     #[test]

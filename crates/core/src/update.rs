@@ -15,18 +15,33 @@
 
 use crate::config::SgdParams;
 use crate::coords::dot;
+use dmf_linalg::kernels::axpby;
 
-/// Performs one SGD step in place and returns the loss value *before*
-/// the step (handy for monitoring convergence).
-pub fn sgd_step(updated: &mut [f64], fixed: &[f64], x: f64, params: &SgdParams) -> f64 {
+/// Performs one SGD step in place.
+///
+/// This is the per-measurement hot path — millions of calls per
+/// second — so it computes only what the update needs (`x̂` and the
+/// gradient factor) via the fused [`dmf_linalg::kernels`]: no loss
+/// evaluation, no allocation. Use [`sgd_step_with_loss`] when the
+/// pre-step loss value is wanted for monitoring.
+#[inline]
+pub fn sgd_step(updated: &mut [f64], fixed: &[f64], x: f64, params: &SgdParams) {
     assert_eq!(updated.len(), fixed.len(), "coordinate rank mismatch");
     let xhat = dot(updated, fixed);
-    let loss_before = params.loss.value(x, xhat);
     let g = params.loss.gradient_factor(x, xhat);
     let shrink = 1.0 - params.eta * params.lambda;
-    for (t, &f) in updated.iter_mut().zip(fixed.iter()) {
-        *t = shrink * *t - params.eta * g * f;
-    }
+    // updated[i] ← shrink·updated[i] − (η·g)·fixed[i], exactly the
+    // historical elementwise expression.
+    axpby(updated, shrink, -(params.eta * g), fixed);
+}
+
+/// [`sgd_step`] variant that also returns the loss value *before* the
+/// step (handy for monitoring convergence; costs an extra `exp`/`ln`
+/// per call, which is why the plain step skips it).
+pub fn sgd_step_with_loss(updated: &mut [f64], fixed: &[f64], x: f64, params: &SgdParams) -> f64 {
+    assert_eq!(updated.len(), fixed.len(), "coordinate rank mismatch");
+    let loss_before = params.loss.value(x, dot(updated, fixed));
+    sgd_step(updated, fixed, x, params);
     loss_before
 }
 
@@ -57,7 +72,7 @@ mod tests {
         // x̂ = 1, g = -(3-1) = -2, shrink = 0.99.
         // u' = 0.99·[1,0] - 0.1·(-2)·[1,1] = [1.19, 0.2].
         let mut u = vec![1.0, 0.0];
-        let loss_before = sgd_step(&mut u, &[1.0, 1.0], 3.0, &params(Loss::L2));
+        let loss_before = sgd_step_with_loss(&mut u, &[1.0, 1.0], 3.0, &params(Loss::L2));
         assert!((loss_before - 4.0).abs() < 1e-12);
         assert!((u[0] - 1.19).abs() < 1e-12, "u0={}", u[0]);
         assert!((u[1] - 0.20).abs() < 1e-12, "u1={}", u[1]);
@@ -140,8 +155,13 @@ mod tests {
     fn returns_pre_step_loss() {
         let p = params(Loss::Hinge);
         let mut updated = vec![0.0];
-        let loss = sgd_step(&mut updated, &[1.0], 1.0, &p);
+        let loss = sgd_step_with_loss(&mut updated, &[1.0], 1.0, &p);
         assert_eq!(loss, 1.0); // hinge(1, 0) = 1
+
+        // The plain step must leave the coordinates in the same state.
+        let mut plain = vec![0.0];
+        sgd_step(&mut plain, &[1.0], 1.0, &p);
+        assert_eq!(plain, updated);
     }
 
     #[test]

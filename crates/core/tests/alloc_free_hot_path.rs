@@ -1,0 +1,93 @@
+//! Pins the zero-allocation contract of the training hot path: after
+//! warmup, a probe/reply cycle — event-queue traffic, coordinate
+//! snapshots, SGD updates — performs **no** heap allocation.
+//!
+//! Asserted with a counting global allocator (the one place in the
+//! workspace that needs `unsafe`: delegating to the system allocator
+//! while bumping an atomic).
+
+use dmf_core::runner::{ExchangeFidelity, SimnetRunner};
+use dmf_core::{DmfsgdConfig, DmfsgdSystem};
+use dmf_datasets::rtt::meridian_like;
+use dmf_simnet::NetConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates verbatim to the system allocator; the counter has
+// no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// One test function (not several) so no concurrent test in this
+/// binary can allocate while a measured section runs.
+#[test]
+fn training_hot_paths_allocate_nothing_after_warmup() {
+    // --- message-driven runner, fused exchanges (the default) -------
+    let d = meridian_like(40, 1);
+    let tau = d.median();
+    let mut runner =
+        SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default());
+    // Warmup: several simulated seconds populate every queue bucket,
+    // heap, slab slot and scratch list to steady-state capacity.
+    runner.run_for(30.0);
+    let before = allocations();
+    runner.run_for(60.0);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "fused probe cycles allocated {during} times after warmup"
+    );
+    assert!(runner.stats().measurements_completed > 1000);
+
+    // --- message-driven runner, full per-message fidelity ------------
+    let d = meridian_like(40, 2);
+    let tau = d.median();
+    let mut runner =
+        SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+            .with_exchange_fidelity(ExchangeFidelity::PerMessage);
+    runner.run_for(30.0);
+    let before = allocations();
+    runner.run_for(60.0);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "per-message probe/reply cycles allocated {during} times after warmup \
+         (coordinate snapshots must ride inline CoordVecs)"
+    );
+
+    // --- oracle-driven system ticks ----------------------------------
+    let d = meridian_like(40, 3);
+    let class = d.classify(d.median());
+    let mut provider = dmf_core::provider::ClassLabelProvider::new(class);
+    let mut system = DmfsgdSystem::new(40, DmfsgdConfig::paper_defaults());
+    system.run(2_000, &mut provider);
+    let before = allocations();
+    system.run(10_000, &mut provider);
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "oracle-driven SGD ticks allocated {during} times after warmup"
+    );
+}

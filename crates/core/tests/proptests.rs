@@ -3,8 +3,9 @@
 use dmf_core::config::SgdParams;
 use dmf_core::coords::dot;
 use dmf_core::multiclass::OrdinalClassifier;
+use dmf_core::provider::ClassLabelProvider;
 use dmf_core::update::{local_objective, sgd_step};
-use dmf_core::Loss;
+use dmf_core::{DmfsgdConfig, DmfsgdSystem, Loss};
 use proptest::prelude::*;
 
 fn coords(rank: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -120,5 +121,34 @@ proptest! {
         let clf = OrdinalClassifier::equally_spaced(classes, Loss::Logistic);
         let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
         prop_assert!(clf.predict_class(lo) <= clf.predict_class(hi));
+    }
+
+    #[test]
+    fn batched_scores_bitwise_match_naive(
+        n in 12usize..40,
+        rank in 1usize..20,
+        seed in 0u64..1_000,
+        ticks in 0usize..1_500,
+    ) {
+        // The batched U·Vᵀ evaluation must equal the per-pair dot path
+        // bit for bit, at any training state, inline or spilled rank.
+        let d = dmf_datasets::rtt::meridian_like(n, seed);
+        let class = d.classify(d.median());
+        let mut cfg = DmfsgdConfig::paper_defaults();
+        cfg.rank = rank;
+        cfg.k = 8.min(n - 1);
+        cfg.seed = seed;
+        let mut provider = ClassLabelProvider::new(class);
+        let mut sys = DmfsgdSystem::new(n, cfg);
+        sys.run(ticks, &mut provider);
+        let batched = sys.predicted_scores();
+        let naive = sys.predicted_scores_naive();
+        prop_assert_eq!(batched.shape(), naive.shape());
+        for ((i, j, b), (_, _, a)) in batched.entries().zip(naive.entries()) {
+            prop_assert_eq!(
+                b.to_bits(), a.to_bits(),
+                "entry ({},{}) differs: batched {} vs naive {}", i, j, b, a
+            );
+        }
     }
 }

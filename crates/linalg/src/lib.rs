@@ -13,6 +13,9 @@
 //! * [`Mask`] — an observation mask marking which entries of a pairwise
 //!   measurement matrix are known (diagonals are never observed; real
 //!   datasets have missing entries).
+//! * [`kernels`] — the allocation-free hot-path primitives: fused
+//!   [`kernels::dot`]/[`kernels::axpby`] and the inline [`CoordVec`]
+//!   coordinate type backing every per-measurement SGD update.
 //! * [`svd`] — singular value decomposition: an exact one-sided Jacobi
 //!   SVD for small/medium matrices and a randomized subspace iteration
 //!   for the top-k spectrum of large matrices (Figure 1 uses a
@@ -38,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub mod decomp;
+pub mod kernels;
 pub mod mask;
 pub mod matrix;
 pub mod stats;
 pub mod svd;
 
+pub use kernels::CoordVec;
 pub use mask::Mask;
 pub use matrix::Matrix;

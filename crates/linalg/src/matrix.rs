@@ -167,6 +167,103 @@ impl Matrix {
         out
     }
 
+    /// Matrix product against a transposed right-hand side:
+    /// `self * rhsᵀ`, i.e. `out[i][j] = dot(self.row(i), rhs.row(j))`.
+    ///
+    /// This is the batched form of evaluating all pairwise scores
+    /// `u_i · v_j` at once: both operands are iterated row-major (no
+    /// strided column walks), and each entry accumulates over `k` in
+    /// ascending order through the same fused-multiply-add chain as
+    /// [`crate::kernels::dot`], so every entry is **bitwise identical**
+    /// to the per-pair dot it replaces — only much faster, because the
+    /// `i`/`k`/`j` loop order streams `rhsᵀ` rows through SIMD fma
+    /// lanes instead of re-walking scattered vectors per pair.
+    ///
+    /// # Panics
+    /// Panics when the column counts (the shared inner dimension)
+    /// disagree.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) writing into an existing matrix,
+    /// reusing its allocation. Evaluation loops that materialize the
+    /// score matrix repeatedly (convergence tracking, the perf suite)
+    /// avoid a large alloc/fault/free cycle per call this way.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (rows, cols, inner) = (self.rows, rhs.rows, self.cols);
+        let mut data = std::mem::take(&mut out.data);
+        data.clear();
+        data.reserve(rows * cols);
+        if inner == 0 {
+            data.resize(rows * cols, 0.0);
+            *out = Matrix::from_vec(rows, cols, data);
+            return;
+        }
+        // Materialize rhsᵀ once (r × n, contiguous rows of length n) so
+        // the hot loop is a pure streaming accumulation.
+        let rhs_t = rhs.transpose();
+        // The k = 0 pass *writes* each output row (a plain product,
+        // matching kernels::dot's initialization), so the output
+        // buffer never needs a zeroing pass of its own. The remaining
+        // k are blocked eight (then four) at a time: each pass chains
+        // the fmas through registers — the row-wide loop provides the
+        // instruction-level parallelism — and every extra k per pass
+        // removes one read+write of the output row. The per-entry
+        // accumulation order (k ascending) — and therefore the bit
+        // patterns — never changes.
+        macro_rules! dispatch {
+            ($b:expr, $f:ident($($args:expr),*)) => {
+                match $b {
+                    1 => $f::<1>($($args),*),
+                    2 => $f::<2>($($args),*),
+                    3 => $f::<3>($($args),*),
+                    4 => $f::<4>($($args),*),
+                    5 => $f::<5>($($args),*),
+                    6 => $f::<6>($($args),*),
+                    7 => $f::<7>($($args),*),
+                    8 => $f::<8>($($args),*),
+                    other => unreachable!("block size {other} out of range"),
+                }
+            };
+        }
+        for i in 0..rows {
+            let lhs_row = self.row(i);
+            let start = data.len();
+            // First pass appends product-initialized entries (no read,
+            // no zero-fill); later passes read-accumulate-write, up to
+            // eight ranks folded per pass.
+            let first = inner.min(8);
+            dispatch!(
+                first,
+                nt_init_pass(&lhs_row[..first], &rhs_t, &mut data, cols)
+            );
+            let out_row = &mut data[start..];
+            let mut k = first;
+            while k < inner {
+                let block = (inner - k).min(8);
+                dispatch!(
+                    block,
+                    nt_rw_pass(&lhs_row[k..k + block], &rhs_t, k, out_row)
+                );
+                k += block;
+            }
+        }
+        *out = Matrix::from_vec(rows, cols, data);
+    }
+
     /// Elementwise map into a new matrix.
     pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
         Matrix {
@@ -249,10 +346,42 @@ impl Matrix {
             .map(move |(idx, &v)| (idx / cols, idx % cols, v))
     }
 
-    /// Dot product of two equal-length slices (shared helper).
+    /// Dot product of two equal-length slices (shared helper; the
+    /// fused-multiply-add chain of [`crate::kernels::dot`]).
     pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len(), "dot length mismatch");
-        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+        crate::kernels::dot(a, b)
+    }
+}
+
+/// One write-only `matmul_nt` pass: appends
+/// `chain(a[0]·r₀[j], …, a[B-1]·rᵦ[j])` for every column `j`
+/// (product-initialized, matching [`crate::kernels::dot`]).
+#[inline]
+fn nt_init_pass<const B: usize>(a: &[f64], rhs_t: &Matrix, data: &mut Vec<f64>, cols: usize) {
+    let a: &[f64; B] = a.try_into().expect("init block size");
+    let r: [&[f64]; B] = std::array::from_fn(|s| rhs_t.row(s));
+    data.extend((0..cols).map(|j| {
+        let mut acc = a[0] * r[0][j];
+        for s in 1..B {
+            acc = a[s].mul_add(r[s][j], acc);
+        }
+        acc
+    }));
+}
+
+/// One read-accumulate-write `matmul_nt` pass over ranks
+/// `k0..k0 + B`, chaining the `B` fmas through a register.
+#[inline]
+fn nt_rw_pass<const B: usize>(a: &[f64], rhs_t: &Matrix, k0: usize, out_row: &mut [f64]) {
+    let a: &[f64; B] = a.try_into().expect("rw block size");
+    let r: [&[f64]; B] = std::array::from_fn(|s| rhs_t.row(k0 + s));
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let mut acc = a[0].mul_add(r[0][j], *o);
+        for s in 1..B {
+            acc = a[s].mul_add(r[s][j], acc);
+        }
+        *o = acc;
     }
 }
 
@@ -378,6 +507,52 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.5, -1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[1.0, 1.0, 1.0], &[-1.0, 2.0, 0.5]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+        assert_eq!(a.matmul_nt(&b).shape(), (2, 3));
+    }
+
+    #[test]
+    fn matmul_nt_bitwise_matches_row_dots() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i * 31 + j * 17) as f64 * 0.137).sin());
+        let b = Matrix::from_fn(6, 5, |i, j| ((i * 13 + j * 41) as f64 * 0.271).cos());
+        let c = a.matmul_nt(&b);
+        for i in 0..7 {
+            for j in 0..6 {
+                assert_eq!(
+                    c[(i, j)].to_bits(),
+                    Matrix::dot(a.row(i), b.row(j)).to_bits(),
+                    "entry ({i},{j}) not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_into_reuses_buffer_and_matches() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.5);
+        let b = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 - 1.5);
+        let fresh = a.matmul_nt(&b);
+        // Reuse a buffer of the wrong shape and stale contents.
+        let mut out = Matrix::filled(2, 9, 7.0);
+        a.matmul_nt_into(&b, &mut out);
+        assert_eq!(out, fresh);
+        // And again into the now-right-shaped buffer.
+        a.matmul_nt_into(&b, &mut out);
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt shape mismatch")]
+    fn matmul_nt_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = a.matmul_nt(&b);
     }
 
     #[test]

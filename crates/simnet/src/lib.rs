@@ -38,6 +38,6 @@ pub mod neighbors;
 pub mod net;
 pub mod probe;
 
-pub use event::{EventQueue, SimTime};
+pub use event::{EventQueue, Lane, SimTime};
 pub use neighbors::NeighborSets;
 pub use net::{Delivery, NetConfig, SimNet};

@@ -9,12 +9,20 @@
 //! never trained on.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Per-node reference sets.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Stored flat (CSR layout: one contiguous id array plus per-node
+/// offsets) so that the per-probe `sample_neighbor` touches a single
+/// cache-resident array instead of chasing one heap `Vec` per node.
+/// Serialization keeps the historical nested-array JSON shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NeighborSets {
-    sets: Vec<Vec<usize>>,
+    /// Concatenated neighbor ids, node by node.
+    flat: Vec<usize>,
+    /// `flat[offsets[i]..offsets[i+1]]` is node `i`'s neighbor list.
+    offsets: Vec<u32>,
 }
 
 impl NeighborSets {
@@ -26,36 +34,49 @@ impl NeighborSets {
     pub fn random(n: usize, k: usize, rng: &mut impl Rng) -> Self {
         assert!(n >= 2, "need at least two nodes");
         assert!(k >= 1 && k < n, "k must satisfy 1 <= k < n (k={k}, n={n})");
-        let sets = (0..n).map(|i| sample_distinct(n, k, &[i], rng)).collect();
-        Self { sets }
+        let mut flat = Vec::with_capacity(n * k);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for i in 0..n {
+            flat.extend(sample_distinct(n, k, &[i], rng));
+            offsets.push(u32::try_from(flat.len()).expect("neighbor table overflow"));
+        }
+        Self { flat, offsets }
     }
 
     /// Builds sets from explicit lists (used by tests and loaders).
     pub fn from_sets(sets: Vec<Vec<usize>>) -> Self {
+        let mut flat = Vec::new();
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        offsets.push(0);
         for (i, set) in sets.iter().enumerate() {
             assert!(!set.contains(&i), "node {i} cannot be its own neighbor");
+            flat.extend_from_slice(set);
+            offsets.push(u32::try_from(flat.len()).expect("neighbor table overflow"));
         }
-        Self { sets }
+        Self { flat, offsets }
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.offsets.len() - 1
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.len() == 0
     }
 
     /// The neighbor list of node `i`.
+    #[inline]
     pub fn neighbors(&self, i: usize) -> &[usize] {
-        &self.sets[i]
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Uniformly samples one neighbor of node `i`.
+    #[inline]
     pub fn sample_neighbor(&self, i: usize, rng: &mut impl Rng) -> usize {
-        let set = &self.sets[i];
+        let set = self.neighbors(i);
         set[rng.gen_range(0..set.len())]
     }
 
@@ -68,7 +89,7 @@ impl NeighborSets {
         let n = self.len();
         (0..n)
             .map(|i| {
-                let mut excluded: Vec<usize> = self.sets[i].clone();
+                let mut excluded: Vec<usize> = self.neighbors(i).to_vec();
                 excluded.push(i);
                 assert!(
                     m + excluded.len() <= n,
@@ -78,6 +99,27 @@ impl NeighborSets {
                 sample_distinct(n, m, &excluded, rng)
             })
             .collect()
+    }
+}
+
+impl Serialize for NeighborSets {
+    fn to_value(&self) -> Value {
+        // Historical JSON shape: an object holding the nested lists.
+        let sets: Vec<Vec<usize>> = (0..self.len())
+            .map(|i| self.neighbors(i).to_vec())
+            .collect();
+        Value::Object(vec![("sets".to_string(), sets.to_value())])
+    }
+}
+
+impl Deserialize for NeighborSets {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let sets = v
+            .get("sets")
+            .ok_or_else(|| DeError::missing_field("sets", "NeighborSets"))?;
+        Ok(NeighborSets::from_sets(Vec::<Vec<usize>>::from_value(
+            sets,
+        )?))
     }
 }
 

@@ -8,9 +8,8 @@
 //! a reply can be lost — so the DMFSGD node logic that runs on top of
 //! it transfers unchanged to the UDP agents in `dmf-agent`.
 
-use crate::event::{EventQueue, SimTime};
+use crate::event::{EventQueue, Lane, SimTime};
 use dmf_datasets::Dataset;
-use dmf_linalg::stats::log_normal_sample;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -66,14 +65,59 @@ pub struct NetStats {
     pub timers: usize,
 }
 
+/// Per-message multiplicative delay jitter: `exp(σ·Z)`, `Z ~ N(0,1)`.
+///
+/// Box–Muller yields *two* independent normals per pair of uniforms
+/// (the cosine and sine projections); the historical sampler computed
+/// the cosine one and threw the sine away, paying `ln`/`sqrt`/`cos`
+/// on every message. Banking the companion halves the transcendental
+/// cost of the single hottest sampler in a simulated run while
+/// drawing from exactly the same distribution.
+struct JitterSampler {
+    sigma: f64,
+    banked: Option<f64>,
+}
+
+impl JitterSampler {
+    fn new(sigma: f64) -> Self {
+        Self {
+            sigma,
+            banked: None,
+        }
+    }
+
+    #[inline]
+    fn sample(&mut self, rng: &mut ChaCha8Rng) -> f64 {
+        let z = match self.banked.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller; u1 in (0, 1] avoids ln(0).
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+                self.banked = Some(r * sin);
+                r * cos
+            }
+        };
+        (self.sigma * z).exp()
+    }
+}
+
 /// The simulated network: an event queue plus a latency/loss model.
 pub struct SimNet<M> {
     queue: EventQueue<Delivery<M>>,
     /// One-way delays in seconds, `n × n`, derived from the dataset.
-    one_way_delay: Vec<f64>,
+    /// Stored as `f32`: delays are physical quantities good to well
+    /// under a relative 1e-7, and halving the table keeps the whole
+    /// simulation working set L2-resident at population scale — the
+    /// two random-indexed delay lookups per probe cycle are the
+    /// hottest memory accesses in a run.
+    one_way_delay: Vec<f32>,
     n: usize,
     config: NetConfig,
     rng: ChaCha8Rng,
+    jitter: JitterSampler,
     stats: NetStats,
     in_flight_non_timer: usize,
 }
@@ -85,9 +129,9 @@ impl<M> SimNet<M> {
     /// default delay.
     pub fn from_rtt_dataset(dataset: &Dataset, config: NetConfig) -> Self {
         let n = dataset.len();
-        let mut one_way_delay = vec![config.default_one_way_delay_s; n * n];
+        let mut one_way_delay = vec![config.default_one_way_delay_s as f32; n * n];
         for (i, j) in dataset.mask.iter_known() {
-            one_way_delay[i * n + j] = dataset.values[(i, j)] / 2.0 / 1000.0;
+            one_way_delay[i * n + j] = (dataset.values[(i, j)] / 2.0 / 1000.0) as f32;
         }
         Self::with_delays(n, one_way_delay, config)
     }
@@ -95,16 +139,20 @@ impl<M> SimNet<M> {
     /// Builds a network with a uniform one-way delay (useful for unit
     /// tests of protocol logic).
     pub fn uniform(n: usize, one_way_delay_s: f64, config: NetConfig) -> Self {
-        Self::with_delays(n, vec![one_way_delay_s; n * n], config)
+        Self::with_delays(n, vec![one_way_delay_s as f32; n * n], config)
     }
 
-    fn with_delays(n: usize, one_way_delay: Vec<f64>, config: NetConfig) -> Self {
+    fn with_delays(n: usize, one_way_delay: Vec<f32>, config: NetConfig) -> Self {
         assert_eq!(one_way_delay.len(), n * n, "delay table shape mismatch");
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         Self {
-            queue: EventQueue::new(),
+            // Steady state holds ~1 timer per node plus the in-flight
+            // messages; reserving up front keeps the hot loop
+            // allocation-free from the first delivery.
+            queue: EventQueue::with_capacity(4 * n + 16),
             one_way_delay,
             n,
+            jitter: JitterSampler::new(config.delay_jitter_sigma),
             config,
             rng,
             stats: NetStats::default(),
@@ -137,13 +185,16 @@ impl<M> SimNet<M> {
     pub fn send(&mut self, from: usize, to: usize, msg: M) {
         assert!(from < self.n && to < self.n, "node id out of range");
         self.stats.sent += 1;
-        if self.rng.gen::<f64>() < self.config.loss_probability {
+        // Loss-free networks skip the loss draw entirely.
+        if self.config.loss_probability > 0.0
+            && self.rng.gen::<f64>() < self.config.loss_probability
+        {
             self.stats.dropped += 1;
             return;
         }
-        let base = self.one_way_delay[from * self.n + to];
+        let base = f64::from(self.one_way_delay[from * self.n + to]);
         let jitter = if self.config.delay_jitter_sigma > 0.0 {
-            log_normal_sample(&mut self.rng, 0.0, self.config.delay_jitter_sigma)
+            self.jitter.sample(&mut self.rng)
         } else {
             1.0
         };
@@ -153,10 +204,25 @@ impl<M> SimNet<M> {
     }
 
     /// Schedules a lossless timer for `node` after `delay` seconds.
+    ///
+    /// Timers ride the far queue lane: they are periodic with
+    /// ~second horizons while message deliveries land within
+    /// milliseconds, and separating the populations keeps delivery
+    /// pops out of the (much larger) timer heap.
     pub fn set_timer(&mut self, node: usize, delay: SimTime, msg: M) {
+        assert!(delay >= 0.0, "negative timer delay {delay}");
+        self.set_timer_at(node, self.now() + delay, msg);
+    }
+
+    /// Schedules a lossless timer for `node` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` lies in the simulated past.
+    pub fn set_timer_at(&mut self, node: usize, at: SimTime, msg: M) {
         assert!(node < self.n, "node id out of range");
-        self.queue.schedule_after(
-            delay,
+        self.queue.schedule_at_on(
+            Lane::Far,
+            at,
             Delivery {
                 from: node,
                 to: node,
@@ -165,16 +231,93 @@ impl<M> SimNet<M> {
         );
     }
 
+    /// Schedules a full probe→reply round trip as **one** delivery:
+    /// `msg` arrives back at `from` after
+    /// `delay(from→to)·jitter + delay(to→from)·jitter`, with loss
+    /// applied independently to each leg (either loss silently drops
+    /// the whole exchange, exactly as losing that message would).
+    /// Returns whether the exchange survived (false = a leg was lost).
+    ///
+    /// This is the event-collapsed fast path for request/response
+    /// exchanges whose request leg has no observable effect at the
+    /// responder: it halves the event count and keeps coordinate
+    /// payloads out of the queue entirely. Use [`send`](Self::send)
+    /// when the intermediate delivery matters.
+    pub fn roundtrip(&mut self, from: usize, to: usize, msg: M) -> bool {
+        self.roundtrip_at(from, to, self.now(), msg)
+    }
+
+    /// [`roundtrip`](Self::roundtrip) departing at the (current or
+    /// future) absolute time `at`: the completion delivers at
+    /// `at + rtt`. Lets a driver chain periodic exchanges without a
+    /// separate timer event per period.
+    ///
+    /// # Panics
+    /// Panics when `at` lies in the simulated past.
+    pub fn roundtrip_at(&mut self, from: usize, to: usize, at: SimTime, msg: M) -> bool {
+        assert!(from < self.n && to < self.n, "node id out of range");
+        assert!(at >= self.now(), "roundtrip departing in the past");
+        self.stats.sent += 2;
+        if self.config.loss_probability > 0.0 {
+            let lost_fwd = self.rng.gen::<f64>() < self.config.loss_probability;
+            let lost_back = self.rng.gen::<f64>() < self.config.loss_probability;
+            if lost_fwd || lost_back {
+                self.stats.dropped += usize::from(lost_fwd) + usize::from(lost_back);
+                return false;
+            }
+        }
+        let fwd = f64::from(self.one_way_delay[from * self.n + to]);
+        let back = f64::from(self.one_way_delay[to * self.n + from]);
+        let rtt = if self.config.delay_jitter_sigma > 0.0 {
+            let j1 = self.jitter.sample(&mut self.rng);
+            let j2 = self.jitter.sample(&mut self.rng);
+            fwd * j1 + back * j2
+        } else {
+            fwd + back
+        };
+        self.in_flight_non_timer += 1;
+        self.queue.schedule_at_on(
+            Lane::Far,
+            at + rtt,
+            Delivery {
+                from: to,
+                to: from,
+                msg,
+            },
+        );
+        true
+    }
+
     /// Delivers the next message (advancing simulated time).
     pub fn next_delivery(&mut self) -> Option<(SimTime, Delivery<M>)> {
         let (t, d) = self.queue.pop()?;
+        self.account_delivery(&d);
+        Some((t, d))
+    }
+
+    /// Delivers the next message only if it is due at or before
+    /// `deadline`; later messages stay queued and the clock stays put.
+    pub fn next_delivery_before(&mut self, deadline: SimTime) -> Option<(SimTime, Delivery<M>)> {
+        let (t, d) = self.queue.pop_before(deadline)?;
+        self.account_delivery(&d);
+        Some((t, d))
+    }
+
+    #[inline]
+    fn account_delivery(&mut self, d: &Delivery<M>) {
         if d.from == d.to {
             self.stats.timers += 1;
         } else {
             self.stats.delivered += 1;
             self.in_flight_non_timer -= 1;
         }
-        Some((t, d))
+    }
+
+    /// Timestamp of the next delivery without consuming it (`None`
+    /// when the queue is empty). Lets run loops stop *before* an event
+    /// past their deadline instead of delivering it first.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Number of queued deliveries (timers included).
@@ -214,7 +357,11 @@ mod tests {
             }
         );
         let expected = d.values[(0, 1)] / 2.0 / 1000.0;
-        assert!((t - expected).abs() < 1e-12, "t={t}, expected {expected}");
+        // Delays are stored as f32: exact to a relative ~6e-8.
+        assert!(
+            (t - expected).abs() < expected * 1e-6,
+            "t={t}, expected {expected}"
+        );
     }
 
     #[test]
@@ -233,7 +380,7 @@ mod tests {
         let (t, reply) = net.next_delivery().unwrap();
         assert_eq!(reply.to, 3);
         let expected_rtt_s = d.values[(3, 7)] / 1000.0;
-        assert!((t - expected_rtt_s).abs() < 1e-9);
+        assert!((t - expected_rtt_s).abs() < expected_rtt_s * 1e-6);
     }
 
     #[test]

@@ -104,6 +104,7 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl RngCore for ChaCha8Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         if self.index >= 16 {
             self.refill();
@@ -113,7 +114,17 @@ impl RngCore for ChaCha8Rng {
         word
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
+        // Fast path: both words from the current block with a single
+        // bounds check. Consumes exactly the same keystream words in
+        // the same order as two `next_u32` calls.
+        if self.index + 2 <= 16 {
+            let lo = self.block[self.index] as u64;
+            let hi = self.block[self.index + 1] as u64;
+            self.index += 2;
+            return (hi << 32) | lo;
+        }
         let lo = self.next_u32() as u64;
         let hi = self.next_u32() as u64;
         (hi << 32) | lo
