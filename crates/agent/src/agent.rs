@@ -43,8 +43,11 @@ pub struct AgentStats {
 
 /// Everything an agent thread needs to run.
 pub struct AgentHandle {
-    /// This agent's node id.
-    pub id: usize,
+    /// The node this agent embodies — its starting coordinates. A
+    /// fresh node for a cold start, or a trained one when the agent
+    /// resumes a [`dmf_core::Session`] (see
+    /// [`crate::driver::UdpDriver`]).
+    pub node: DmfsgdNode,
     /// Bound socket (already non-blocking via read timeout).
     pub socket: UdpSocket,
     /// Peer addresses indexed by node id.
@@ -62,10 +65,11 @@ pub struct AgentHandle {
 }
 
 /// Runs the agent loop until the stop flag rises; returns the trained
-/// node and the counters.
+/// node and the counters. `rng_seed` drives probe scheduling only —
+/// coordinates come in through the handle.
 pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats) {
     let AgentHandle {
-        id,
+        mut node,
         socket,
         peers,
         neighbors,
@@ -74,9 +78,9 @@ pub fn run_agent(handle: AgentHandle, rng_seed: u64) -> (DmfsgdNode, AgentStats)
         stop,
         probe_interval,
     } = handle;
+    let id = node.id;
     assert!(!neighbors.is_empty(), "agent {id} has no neighbors");
     let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
-    let mut node = DmfsgdNode::new(id, config.rank, &mut rng);
     let params = config.sgd;
     let metric = oracle.metric();
     let mut stats = AgentStats::default();

@@ -7,7 +7,7 @@
 
 use crate::agent::{run_agent, AgentHandle, AgentStats};
 use crate::oracle::MeasurementOracle;
-use dmf_core::{DmfsgdConfig, DmfsgdNode};
+use dmf_core::{ConfigError, DmfsgdConfig, DmfsgdError, DmfsgdNode, MembershipError};
 use dmf_datasets::Dataset;
 use dmf_linalg::Matrix;
 use dmf_simnet::NeighborSets;
@@ -71,42 +71,101 @@ pub struct UdpCluster;
 
 impl UdpCluster {
     /// Runs a full cluster lifecycle: bind, spawn, run, stop, join.
+    /// Agents start from fresh random coordinates and randomly drawn
+    /// neighbor sets.
     ///
     /// The classification threshold is `tau`; the dataset decides
     /// whether agents speak Algorithm 1 (RTT) or Algorithm 2 (ABW).
+    /// Configuration problems and socket failures surface as typed
+    /// [`DmfsgdError`]s — nothing panics on caller input.
     pub fn run(
         dataset: Dataset,
         tau: f64,
         config: ClusterConfig,
-    ) -> std::io::Result<ClusterOutcome> {
-        config.dmfsgd.validate();
+    ) -> Result<ClusterOutcome, DmfsgdError> {
+        config.dmfsgd.try_validate()?;
         let n = dataset.len();
-        assert!(n > config.dmfsgd.k, "need more nodes than neighbors");
+        if n <= config.dmfsgd.k {
+            return Err(ConfigError::TooFewNodes {
+                n,
+                k: config.dmfsgd.k,
+            }
+            .into());
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.dmfsgd.seed ^ 0x7ea2_0001);
+        let nodes: Vec<DmfsgdNode> = (0..n)
+            .map(|i| DmfsgdNode::new(i, config.dmfsgd.rank, &mut rng))
+            .collect();
+        let neighbor_sets = NeighborSets::random(n, config.dmfsgd.k, &mut rng);
+        Self::run_with_nodes(dataset, tau, config, nodes, &neighbor_sets)
+    }
 
+    /// [`run`](Self::run) starting from explicit node states and
+    /// neighbor sets — the warm-start path [`crate::driver::UdpDriver`]
+    /// uses to advance an existing `dmf_core::Session` population over
+    /// real sockets. `nodes[i].id` must equal `i` and the neighbor
+    /// sets must cover exactly the same population.
+    pub fn run_with_nodes(
+        dataset: Dataset,
+        tau: f64,
+        config: ClusterConfig,
+        nodes: Vec<DmfsgdNode>,
+        neighbor_sets: &NeighborSets,
+    ) -> Result<ClusterOutcome, DmfsgdError> {
+        ConfigError::check_tau(tau)?;
         let oracle = Arc::new(MeasurementOracle::new(
             dataset,
             tau,
             config.dmfsgd.seed ^ 0x0c0a_17e5,
         ));
+        Self::run_with_oracle(oracle, config, nodes, neighbor_sets)
+    }
+
+    /// [`run_with_nodes`](Self::run_with_nodes) with a pre-built
+    /// shared oracle — the repeated-round path
+    /// (`crate::driver::UdpDriver`) builds the oracle once and avoids
+    /// re-copying the O(n²) ground truth every round.
+    pub fn run_with_oracle(
+        oracle: Arc<MeasurementOracle>,
+        config: ClusterConfig,
+        nodes: Vec<DmfsgdNode>,
+        neighbor_sets: &NeighborSets,
+    ) -> Result<ClusterOutcome, DmfsgdError> {
+        config.dmfsgd.try_validate()?;
+        let n = nodes.len();
+        if oracle.len() != n || neighbor_sets.len() != n {
+            return Err(MembershipError::ProviderMismatch {
+                provider: oracle.len().min(neighbor_sets.len()),
+                session: n,
+            }
+            .into());
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if node.id != i {
+                return Err(MembershipError::UnknownNode {
+                    id: node.id,
+                    slots: n,
+                }
+                .into());
+            }
+        }
+        let io_err = |e: std::io::Error| DmfsgdError::Transport(e.to_string());
 
         // Bind all sockets first so the address book is complete
         // before any agent starts.
         let mut sockets = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
-            let socket = UdpSocket::bind("127.0.0.1:0")?;
-            addrs.push(socket.local_addr()?);
+            let socket = UdpSocket::bind("127.0.0.1:0").map_err(io_err)?;
+            addrs.push(socket.local_addr().map_err(io_err)?);
             sockets.push(socket);
         }
 
-        let mut rng = ChaCha8Rng::seed_from_u64(config.dmfsgd.seed ^ 0x7ea2_0001);
-        let neighbor_sets = NeighborSets::random(n, config.dmfsgd.k, &mut rng);
         let stop = Arc::new(AtomicBool::new(false));
-
         let mut handles = Vec::with_capacity(n);
-        for (id, socket) in sockets.into_iter().enumerate() {
+        for (id, (socket, node)) in sockets.into_iter().zip(nodes).enumerate() {
             let handle = AgentHandle {
-                id,
+                node,
                 socket,
                 peers: addrs.clone(),
                 neighbors: neighbor_sets.neighbors(id).to_vec(),

@@ -17,6 +17,10 @@
 //!   datagrams).
 //! * [`cluster`] — spawn-N-agents harness used by tests, examples and
 //!   benchmarks.
+//! * [`driver`] — [`UdpDriver`], the real-socket implementation of
+//!   [`dmf_core::session::Driver`]: one wall-clock cluster burst per
+//!   round, coordinates seeded from and written back to a
+//!   [`dmf_core::Session`].
 //!
 //! # Position in the workspace
 //!
@@ -32,7 +36,10 @@
 
 pub mod agent;
 pub mod cluster;
+#[deny(missing_docs)]
+pub mod driver;
 pub mod oracle;
 
 pub use cluster::{ClusterConfig, ClusterOutcome, UdpCluster};
+pub use driver::UdpDriver;
 pub use oracle::MeasurementOracle;

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmf_bench::experiments::training::default_config;
 use dmf_core::provider::ClassLabelProvider;
-use dmf_core::{DmfsgdSystem, Loss};
+use dmf_core::{Loss, SessionBuilder};
 use dmf_datasets::rtt::meridian_like;
 use std::hint::black_box;
 
@@ -24,9 +24,14 @@ fn bench_losses(c: &mut Criterion) {
                     let mut cfg = default_config(10, 2);
                     cfg.sgd.loss = loss;
                     let mut provider = ClassLabelProvider::new(class.clone());
-                    let mut system = DmfsgdSystem::new(n, cfg);
-                    system.run(black_box(15_000), &mut provider);
-                    system.measurements_used()
+                    let mut session = SessionBuilder::from_config(cfg)
+                        .nodes(n)
+                        .build()
+                        .expect("valid config");
+                    session
+                        .run(black_box(15_000), &mut provider)
+                        .expect("provider covers the session");
+                    session.measurements_used()
                 });
             },
         );
@@ -37,9 +42,14 @@ fn bench_losses(c: &mut Criterion) {
         b.iter(|| {
             let cfg = default_config(10, 3).quantity(median);
             let mut provider = dmf_core::provider::QuantityProvider::new(d.clone(), median);
-            let mut system = DmfsgdSystem::new(n, cfg);
-            system.run(black_box(15_000), &mut provider);
-            system.measurements_used()
+            let mut session = SessionBuilder::from_config(cfg)
+                .nodes(n)
+                .build()
+                .expect("valid config");
+            session
+                .run(black_box(15_000), &mut provider)
+                .expect("provider covers the session");
+            session.measurements_used()
         });
     });
     group.finish();

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dmf_bench::experiments::training::default_config;
 use dmf_core::provider::ClassLabelProvider;
-use dmf_core::DmfsgdSystem;
+use dmf_core::SessionBuilder;
 use dmf_datasets::rtt::meridian_like;
 use std::hint::black_box;
 
@@ -20,9 +20,14 @@ fn bench_system_ticks(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut provider = ClassLabelProvider::new(class.clone());
-                let mut system = DmfsgdSystem::new(n, default_config(10, 1));
-                system.run(black_box(ticks), &mut provider);
-                system.measurements_used()
+                let mut session = SessionBuilder::from_config(default_config(10, 1))
+                    .nodes(n)
+                    .build()
+                    .expect("valid config");
+                session
+                    .run(black_box(ticks), &mut provider)
+                    .expect("provider covers the session");
+                session.measurements_used()
             });
         });
     }

@@ -30,8 +30,9 @@ fn bench_simnet_run(c: &mut Criterion) {
                         DmfsgdConfig::paper_defaults(),
                         NetConfig::default(),
                     )
+                    .expect("valid config")
                     .with_exchange_fidelity(fidelity);
-                    runner.run_for(duration_s);
+                    runner.run_for(duration_s).expect("positive duration");
                     runner.stats().measurements_completed
                 });
             },

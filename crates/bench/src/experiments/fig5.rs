@@ -11,7 +11,7 @@ use crate::experiments::scale::Scale;
 use crate::experiments::training::{auc_of, default_config};
 use crate::experiments::trio::Trio;
 use dmf_core::provider::ClassLabelProvider;
-use dmf_core::DmfsgdSystem;
+use dmf_core::{Session, SessionBuilder};
 use dmf_eval::collect_scores;
 use dmf_eval::convergence::ConvergenceTracker;
 use dmf_eval::pr::pr_curve;
@@ -60,7 +60,7 @@ fn downsample(curve: &[(f64, f64)], max_points: usize) -> Curve {
 }
 
 fn evaluate(
-    system: &DmfsgdSystem,
+    system: &Session,
     class: &dmf_datasets::ClassMatrix,
     name: &str,
     tracker: ConvergenceTracker,
@@ -101,8 +101,10 @@ pub fn run(scale: &Scale, seed: u64) -> Fig5 {
             let bundle = &trio.harvard;
             let tau = bundle.dataset.median();
             let class = bundle.dataset.classify(tau);
-            let mut system =
-                DmfsgdSystem::new(bundle.dataset.len(), default_config(bundle.k, seed));
+            let mut system = SessionBuilder::from_config(default_config(bundle.k, seed))
+                .nodes(bundle.dataset.len())
+                .build()
+                .expect("experiment config is valid");
             let mut tracker = ConvergenceTracker::new();
             let chunks = 25;
             let per_chunk = (trio.harvard_trace.len() / chunks).max(1);
@@ -114,7 +116,9 @@ pub fn run(scale: &Scale, seed: u64) -> Fig5 {
                     nodes: trio.harvard_trace.nodes,
                     measurements: chunk.to_vec(),
                 };
-                system.run_trace(&sub, tau);
+                system
+                    .run_trace(&sub, tau)
+                    .expect("trace matches the session");
                 replayed += chunk.len();
                 let a = auc_of(&system, &class);
                 tracker.record(replayed as f64 / bundle.dataset.len() as f64, a);
@@ -131,15 +135,19 @@ pub fn run(scale: &Scale, seed: u64) -> Fig5 {
             let tau = bundle.dataset.median();
             let class = bundle.dataset.classify(tau);
             let mut provider = ClassLabelProvider::new(class.clone());
-            let mut system =
-                DmfsgdSystem::new(bundle.dataset.len(), default_config(bundle.k, seed));
+            let mut system = SessionBuilder::from_config(default_config(bundle.k, seed))
+                .nodes(bundle.dataset.len())
+                .build()
+                .expect("experiment config is valid");
             let mut tracker = ConvergenceTracker::new();
             let total = scale.ticks(bundle.dataset.len(), bundle.k);
             let chunks = 25;
             let per_chunk = (total / chunks).max(1);
             let mut used = 0usize;
             while used < total {
-                system.run(per_chunk, &mut provider);
+                system
+                    .run(per_chunk, &mut provider)
+                    .expect("provider covers the session");
                 used += per_chunk;
                 tracker.record(system.avg_measurements_per_node(), auc_of(&system, &class));
             }

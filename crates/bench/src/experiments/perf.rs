@@ -16,7 +16,7 @@
 //!
 //! | name | work unit | what it times |
 //! |---|---|---|
-//! | `sgd_updates` | updates | oracle-driven [`DmfsgdSystem::run`] ticks |
+//! | `sgd_updates` | updates | oracle-driven [`dmf_core::Session::run`] ticks |
 //! | `meridian_simnet_run` | events (protocol legs, 3/probe) | message-driven [`SimnetRunner::run_for`] |
 //! | `harvard_replay` | measurements | time-ordered trace replay |
 //! | `score_eval` | entries | full-matrix `predicted_scores` |
@@ -25,7 +25,7 @@ use crate::experiments::scale::Scale;
 use crate::experiments::training::default_config;
 use dmf_core::provider::ClassLabelProvider;
 use dmf_core::runner::SimnetRunner;
-use dmf_core::DmfsgdSystem;
+use dmf_core::SessionBuilder;
 use dmf_datasets::dynamic::{harvard_like, HarvardConfig};
 use dmf_datasets::rtt::meridian_like;
 use dmf_simnet::NetConfig;
@@ -127,10 +127,14 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
         let class = d.classify(d.median());
         let ticks = scale.ticks(scale.meridian_nodes, scale.k_meridian) * SGD_TICKS_REPEATS;
         let mut provider = ClassLabelProvider::new(class);
-        let mut system =
-            DmfsgdSystem::new(scale.meridian_nodes, default_config(scale.k_meridian, 1));
+        let mut session = SessionBuilder::from_config(default_config(scale.k_meridian, 1))
+            .nodes(scale.meridian_nodes)
+            .build()
+            .expect("experiment config is valid");
         metrics.push(timed("sgd_updates", "updates", ticks as f64, || {
-            system.run(ticks, &mut provider);
+            session
+                .run(ticks, &mut provider)
+                .expect("provider covers the session");
         }));
     }
 
@@ -143,10 +147,13 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
             tau,
             default_config(scale.k_meridian, 2),
             NetConfig::default(),
-        );
+        )
+        .expect("experiment config is valid");
         let mut events = 0.0;
         metrics.push(timed("meridian_simnet_run", "events", 0.0, || {
-            runner.run_for(MERIDIAN_SIM_DURATION_S);
+            runner
+                .run_for(MERIDIAN_SIM_DURATION_S)
+                .expect("positive duration");
             let s = runner.stats();
             // Work unit: *logical protocol legs* — probe, reply and
             // measurement per cycle — a mode-independent normalization.
@@ -167,14 +174,19 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
             3,
         );
         let tau = gt.median();
-        let mut system = DmfsgdSystem::new(scale.harvard_nodes, default_config(scale.k_harvard, 3));
+        let mut session = SessionBuilder::from_config(default_config(scale.k_harvard, 3))
+            .nodes(scale.harvard_nodes)
+            .build()
+            .expect("experiment config is valid");
         metrics.push(timed(
             "harvard_replay",
             "measurements",
             (trace.len() * HARVARD_REPLAY_REPEATS) as f64,
             || {
                 for _ in 0..HARVARD_REPLAY_REPEATS {
-                    system.run_trace(&trace, tau);
+                    session
+                        .run_trace(&trace, tau)
+                        .expect("trace matches the session");
                 }
             },
         ));

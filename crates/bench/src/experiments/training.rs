@@ -9,7 +9,7 @@
 use crate::experiments::scale::Scale;
 use crate::experiments::trio::{DatasetBundle, Trio};
 use dmf_core::provider::ClassLabelProvider;
-use dmf_core::{DmfsgdConfig, DmfsgdSystem, Loss, PredictionMode};
+use dmf_core::{DmfsgdConfig, Loss, PredictionMode, Session, SessionBuilder};
 use dmf_datasets::{ClassMatrix, Dataset, DynamicTrace, Metric};
 use dmf_eval::collect_scores;
 use dmf_eval::roc::auc;
@@ -26,13 +26,18 @@ pub fn default_config(k: usize, seed: u64) -> DmfsgdConfig {
     cfg
 }
 
-/// Trains a class-based DMFSGD system on the labels of `class` for
+/// Trains a class-based DMFSGD session on the labels of `class` for
 /// `ticks` measurements (the random-order protocol).
-pub fn train_class(class: &ClassMatrix, config: DmfsgdConfig, ticks: usize) -> DmfsgdSystem {
+pub fn train_class(class: &ClassMatrix, config: DmfsgdConfig, ticks: usize) -> Session {
     let mut provider = ClassLabelProvider::new(class.clone());
-    let mut system = DmfsgdSystem::new(class.len(), config);
-    system.run(ticks, &mut provider);
-    system
+    let mut session = SessionBuilder::from_config(config)
+        .nodes(class.len())
+        .build()
+        .expect("experiment config is valid");
+    session
+        .run(ticks, &mut provider)
+        .expect("provider covers the session");
+    session
 }
 
 /// Applies an error model to one on-the-fly measurement: returns the
@@ -93,8 +98,11 @@ pub fn train_trace_class(
     config: DmfsgdConfig,
     errors: &[ErrorModel],
     error_seed: u64,
-) -> (DmfsgdSystem, f64) {
-    let mut system = DmfsgdSystem::new(trace.nodes, config);
+) -> (Session, f64) {
+    let mut session = SessionBuilder::from_config(config)
+        .nodes(trace.nodes)
+        .build()
+        .expect("experiment config is valid");
     let mut rng = ChaCha8Rng::seed_from_u64(error_seed);
     let mut corrupted = 0usize;
     for m in &trace.measurements {
@@ -106,22 +114,29 @@ pub fn train_trace_class(
         if x != clean {
             corrupted += 1;
         }
-        system.apply_measurement(m.from, m.to, x, trace.metric);
+        session
+            .apply_measurement(m.from, m.to, x, trace.metric)
+            .expect("trace pairs are in range");
     }
     let level = corrupted as f64 / trace.measurements.len().max(1) as f64;
-    (system, level)
+    (session, level)
 }
 
 /// Trains a quantity-based (regression) system on raw values in random
 /// order.
-pub fn train_quantity(dataset: &Dataset, k: usize, seed: u64, ticks: usize) -> DmfsgdSystem {
+pub fn train_quantity(dataset: &Dataset, k: usize, seed: u64, ticks: usize) -> Session {
     let scale = dataset.median();
     let mut cfg = default_config(k, seed).quantity(scale);
     cfg.sgd.loss = Loss::L2;
     let mut provider = dmf_core::provider::QuantityProvider::new(dataset.clone(), scale);
-    let mut system = DmfsgdSystem::new(dataset.len(), cfg);
-    system.run(ticks, &mut provider);
-    system
+    let mut session = SessionBuilder::from_config(cfg)
+        .nodes(dataset.len())
+        .build()
+        .expect("experiment config is valid");
+    session
+        .run(ticks, &mut provider)
+        .expect("provider covers the session");
+    session
 }
 
 /// Trains a quantity-based system by trace replay (Harvard regression).
@@ -138,7 +153,7 @@ pub fn train_quantity_trace(
     value_scale: f64,
     k: usize,
     seed: u64,
-) -> DmfsgdSystem {
+) -> Session {
     let mut cfg = default_config(k, seed).quantity(value_scale);
     cfg.sgd.loss = Loss::L2;
     cfg.sgd.eta = 0.05;
@@ -146,9 +161,14 @@ pub fn train_quantity_trace(
     for m in &mut clipped.measurements {
         m.value = m.value.min(value_scale * 10.0);
     }
-    let mut system = DmfsgdSystem::new(trace.nodes, cfg);
-    system.run_trace(&clipped, value_scale /* unused in quantity mode */);
-    system
+    let mut session = SessionBuilder::from_config(cfg)
+        .nodes(trace.nodes)
+        .build()
+        .expect("experiment config is valid");
+    session
+        .run_trace(&clipped, value_scale /* unused in quantity mode */)
+        .expect("trace matches the session");
+    session
 }
 
 /// Paper-protocol trainer: trace replay for Harvard, random-order
@@ -172,7 +192,7 @@ impl BundleTrainer<'_> {
         config: DmfsgdConfig,
         trace_errors: &[ErrorModel],
         error_seed: u64,
-    ) -> DmfsgdSystem {
+    ) -> Session {
         if bundle.name == "Harvard" {
             let (system, _) = train_trace_class(
                 &self.trio.harvard_trace,
@@ -189,21 +209,27 @@ impl BundleTrainer<'_> {
     }
 }
 
-/// AUC of a trained system against reference labels.
-pub fn auc_of(system: &DmfsgdSystem, reference: &ClassMatrix) -> f64 {
-    auc(&collect_scores(reference, &system.predicted_scores()))
+/// AUC of a trained session against reference labels.
+pub fn auc_of(session: &Session, reference: &ClassMatrix) -> f64 {
+    auc(&collect_scores(reference, &session.predicted_scores()))
 }
 
-/// Materializes the system's predicted quantities (for regression
+/// Materializes the session's predicted quantities (for regression
 /// peer selection): raw score × value scale.
-pub fn predicted_quantities(system: &DmfsgdSystem) -> dmf_linalg::Matrix {
-    let n = system.len();
-    dmf_linalg::Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { system.predict(i, j) })
+pub fn predicted_quantities(session: &Session) -> dmf_linalg::Matrix {
+    let n = session.len();
+    dmf_linalg::Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            session.predict(i, j).expect("all slots alive")
+        }
+    })
 }
 
-/// True when the system is in quantity mode (sanity check helper).
-pub fn is_quantity(system: &DmfsgdSystem) -> bool {
-    matches!(system.config().mode, PredictionMode::Quantity { .. })
+/// True when the session is in quantity mode (sanity check helper).
+pub fn is_quantity(session: &Session) -> bool {
+    matches!(session.config().mode, PredictionMode::Quantity { .. })
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! # Position in the workspace
 //!
 //! The consumer tip of the DAG: [`experiments`] trains
-//! [`dmf_core::system::DmfsgdSystem`] on [`dmf_datasets`] bundles,
+//! [`dmf_core::Session`] populations on [`dmf_datasets`] bundles,
 //! injects label errors from [`dmf_simnet::errors`], compares against
 //! [`dmf_baselines`], and reports every number through [`dmf_eval`];
 //! [`report`] persists the JSON records the binaries write. Nothing

@@ -6,6 +6,7 @@
 //! impossible, for network applications" — the defaults are expected to
 //! work everywhere, and Figure 3/4 sweep them to show insensitivity.
 
+use crate::error::ConfigError;
 use crate::loss::Loss;
 use serde::{Deserialize, Serialize};
 
@@ -38,18 +39,28 @@ pub struct SgdParams {
 }
 
 impl SgdParams {
+    /// Validates parameter ranges without panicking.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if !(self.eta > 0.0 && self.eta <= 10.0) {
+            return Err(ConfigError::Eta { eta: self.eta });
+        }
+        if !(self.lambda >= 0.0 && self.lambda < 1.0 / self.eta) {
+            return Err(ConfigError::Lambda {
+                lambda: self.lambda,
+            });
+        }
+        Ok(())
+    }
+
     /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on the first violated range; prefer
+    /// [`try_validate`](Self::try_validate).
     pub fn validate(&self) {
-        assert!(
-            self.eta > 0.0 && self.eta <= 10.0,
-            "eta {} out of sensible range",
-            self.eta
-        );
-        assert!(
-            self.lambda >= 0.0 && self.lambda < 1.0 / self.eta,
-            "lambda {} must satisfy 0 <= lambda < 1/eta so the shrinkage (1-ηλ) stays positive",
-            self.lambda
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -100,17 +111,36 @@ impl DmfsgdConfig {
         self
     }
 
-    /// Validates the whole configuration.
-    pub fn validate(&self) {
-        assert!(self.rank >= 1, "rank must be at least 1");
-        assert!(self.k >= 1, "k must be at least 1");
-        self.sgd.validate();
+    /// Validates the whole configuration without panicking.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.rank < 1 {
+            return Err(ConfigError::ZeroRank);
+        }
+        if self.k < 1 {
+            return Err(ConfigError::ZeroK);
+        }
+        self.sgd.try_validate()?;
         if let PredictionMode::Quantity { value_scale } = self.mode {
-            assert!(value_scale > 0.0, "value scale must be positive");
-            assert!(
-                self.sgd.loss == Loss::L2,
-                "quantity mode requires the L2 loss (paper §6.4)"
-            );
+            if value_scale <= 0.0 {
+                return Err(ConfigError::ValueScale { value_scale });
+            }
+            if self.sgd.loss != Loss::L2 {
+                return Err(ConfigError::QuantityLoss {
+                    loss: self.sgd.loss,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Panics
+    /// Panics on the first violated range; prefer
+    /// [`try_validate`](Self::try_validate).
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }

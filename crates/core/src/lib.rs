@@ -12,6 +12,12 @@
 //! measurement triggers a constant-time local SGD step — no central
 //! server, no landmarks, no materialized matrix.
 //!
+//! The primary entry point is the [`session`] module: build a
+//! long-lived [`Session`] with [`SessionBuilder`] (panic-free, typed
+//! [`DmfsgdError`]s), feed it measurements through one of the three
+//! [`Driver`] front-ends, query it incrementally, and persist it with
+//! [`Snapshot`]s.
+//!
 //! Crate layout:
 //!
 //! * [`loss`] — the L2 / hinge / logistic loss functions and their
@@ -23,51 +29,70 @@
 //!   target-inferred).
 //! * [`config`] — hyper-parameters with the paper's defaults
 //!   (`r = 10`, `η = 0.1`, `λ = 0.1`, logistic loss).
+//! * [`error`] — the [`DmfsgdError`] hierarchy: no public constructor
+//!   or method of the session layer panics on user input.
 //! * [`provider`] — measurement sources: ground-truth class labels
 //!   (optionally error-injected), raw quantities, and simulated
 //!   pathload/pathchirp probes.
-//! * [`system`] — population-level driver replaying random-pair or
-//!   timestamp-ordered measurement schedules (the paper's evaluation
-//!   protocol).
-//! * [`runner`] — the same node logic driven through `dmf-simnet`
-//!   message passing with latency and loss, demonstrating the fully
-//!   decentralized operation.
+//! * [`session`] — the service API: [`Session`], [`SessionBuilder`],
+//!   dynamic membership (join/leave/churn), incremental queries, and
+//!   the [`Driver`] trait all front-ends implement.
+//! * [`snapshot`] — serializable checkpoints; restore is
+//!   bit-identical to never having stopped.
+//! * [`system`] — the deprecated one-shot harness, kept as a thin
+//!   shim over [`Session`].
+//! * [`runner`] — the simulated-network front-end
+//!   ([`runner::SimnetDriver`]): the same node logic driven through
+//!   `dmf-simnet` message passing with latency and loss,
+//!   demonstrating the fully decentralized operation.
 //! * [`multiclass`] — the paper's §7 future work implemented: ordinal
 //!   prediction of more than two performance classes via
 //!   immediate-threshold losses, degenerating exactly to the binary
 //!   formulation at `C = 2`.
 //!
-//! The two drivers are complementary: [`system`] replays the paper's
-//! evaluation schedule with zero transport cost, while [`runner`]
-//! pushes every protocol step through [`dmf_simnet::SimNet`] with
-//! latency and loss — same nodes, different substrate.
+//! The front-ends are complementary: [`session::OracleDriver`]
+//! replays the paper's evaluation schedule with zero transport cost,
+//! [`runner::SimnetDriver`] pushes every protocol step through
+//! [`dmf_simnet::SimNet`] with latency and loss, and
+//! `dmf_agent::UdpDriver` does the same over real sockets — same
+//! session, different substrate.
 //!
 //! # Position in the workspace
 //!
 //! Depends on [`dmf_linalg`] (coordinates, score matrices),
-//! [`dmf_datasets`] (training data, [`dmf_datasets::ClassMatrix`])
-//! and [`dmf_simnet`] (the simulated network under [`runner`], the
-//! probe instruments behind [`provider`]). Downstream, `dmf-eval`
-//! scores its predictions, `dmf-baselines` solves the same objective
-//! centrally, `dmf-agent` deploys the node logic over UDP, and
-//! `dmf-bench` sweeps its hyper-parameters.
+//! [`dmf_datasets`] (training data, [`dmf_datasets::ClassMatrix`]),
+//! [`dmf_simnet`] (the simulated network under [`runner`], the
+//! probe instruments behind [`provider`]) and [`dmf_proto`] (wire
+//! decode errors wrapped into [`DmfsgdError`]). Downstream,
+//! `dmf-eval` scores its predictions, `dmf-baselines` solves the same
+//! objective centrally, `dmf-agent` deploys the node logic over UDP,
+//! and `dmf-bench` sweeps its hyper-parameters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod coords;
+#[deny(missing_docs)]
+pub mod error;
 pub mod loss;
 pub mod multiclass;
 pub mod node;
 pub mod provider;
 pub mod runner;
+#[deny(missing_docs)]
+pub mod session;
+#[deny(missing_docs)]
+pub mod snapshot;
 pub mod system;
 pub mod update;
 
 pub use config::{DmfsgdConfig, PredictionMode, SgdParams};
 pub use coords::{CoordVec, Coordinates};
+pub use error::{ConfigError, DmfsgdError, MembershipError, NodeId, SnapshotError};
 pub use loss::Loss;
 pub use node::DmfsgdNode;
-pub use runner::{ExchangeFidelity, SimnetRunner};
+pub use runner::{ExchangeFidelity, SimnetDriver, SimnetRunner};
+pub use session::{Driver, OracleDriver, Session, SessionBuilder};
+pub use snapshot::Snapshot;
 pub use system::DmfsgdSystem;

@@ -545,14 +545,14 @@ mod tests {
         let d = meridian_like(50, 5);
         let labels = MulticlassLabels::quantiles(&d, 4);
         let mut provider = BinarizedProvider::new(&labels, 2);
-        let mut system = crate::DmfsgdSystem::new(50, crate::DmfsgdConfig::paper_defaults());
-        system.run(50 * 10 * 25, &mut provider);
+        let mut system = crate::Session::builder().nodes(50).build().expect("valid");
+        system.run(50 * 10 * 25, &mut provider).expect("run");
         // Evaluate against the top-half classes as "good".
         let mut ok = 0usize;
         let mut total = 0usize;
         for (i, j, c) in labels.iter() {
             let truth_good = c > 2;
-            let predicted_good = system.raw_score(i, j) > 0.0;
+            let predicted_good = system.raw_score(i, j).expect("alive pair") > 0.0;
             total += 1;
             if truth_good == predicted_good {
                 ok += 1;

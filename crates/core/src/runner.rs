@@ -1,8 +1,10 @@
 //! Fully decentralized execution over the simulated network.
 //!
-//! [`SimnetRunner`] drives the same [`DmfsgdNode`] state machines as
-//! [`crate::system`], but every protocol step is an actual message
-//! with latency (and optionally loss) through [`dmf_simnet::SimNet`]:
+//! [`SimnetDriver`] is the simulated-network front-end of the
+//! [`Driver`] trait: it drives the same
+//! [`DmfsgdNode`] state machines held by a [`Session`], but every
+//! protocol step is an actual message with latency (and optionally
+//! loss) through [`dmf_simnet::SimNet`]:
 //!
 //! * **RTT (Algorithm 1)** — node `i` timestamps its probe; the RTT is
 //!   *inferred from the simulated round-trip itself* (reply arrival −
@@ -15,7 +17,14 @@
 //! A probe timer per node fires every `probe_interval_s` (plus jitter)
 //! and picks a uniform random neighbor — the Vivaldi-style schedule of
 //! §5.3. Losing a reply simply loses one training opportunity; the
-//! algorithm needs no reliability from the transport.
+//! algorithm needs no reliability from the transport. Departed nodes
+//! (see [`Session::leave`]) neither probe nor reply; their timer
+//! chains idle until the slot rejoins.
+//!
+//! [`SimnetRunner`] bundles a private `Session` with a `SimnetDriver`
+//! for the common build-train-evaluate flow; use the driver directly
+//! when the session must outlive the transport (snapshots, mixed
+//! front-ends).
 //!
 //! # Hot-path layout
 //!
@@ -28,15 +37,14 @@
 
 use crate::config::DmfsgdConfig;
 use crate::coords::CoordVec;
+use crate::error::{ConfigError, DmfsgdError, MembershipError};
 use crate::node::DmfsgdNode;
-use crate::system::DmfsgdSystem;
+use crate::session::{Driver, Session, SessionBuilder};
 use dmf_datasets::{Dataset, Metric};
 use dmf_linalg::Matrix;
 use dmf_simnet::probe::PathloadProber;
-use dmf_simnet::{NeighborSets, NetConfig, SimNet};
+use dmf_simnet::{NetConfig, SimNet};
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Protocol messages exchanged by DMFSGD nodes.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,7 +83,7 @@ pub enum Msg {
     ProbeTick,
 }
 
-/// How the runner executes an RTT probe/reply exchange.
+/// How the driver executes an RTT probe/reply exchange.
 ///
 /// The two modes train on the same measurement stream — an RTT
 /// inferred from two jittered, lossy one-way delays, classified at τ —
@@ -111,11 +119,11 @@ pub struct RunnerStats {
     pub measurements_completed: usize,
 }
 
-/// A DMFSGD deployment over the simulated network.
-pub struct SimnetRunner {
-    config: DmfsgdConfig,
-    nodes: Vec<DmfsgdNode>,
-    neighbors: NeighborSets,
+/// The simulated-network front-end: owns the transport (event queue,
+/// latency/loss model, outstanding-probe bookkeeping) while the
+/// [`Session`] owns the learning state. Advance it with
+/// [`run_until`](Self::run_until) or through the [`Driver`] trait.
+pub struct SimnetDriver {
     net: SimNet<Msg>,
     dataset: Dataset,
     tau: f64,
@@ -129,37 +137,54 @@ pub struct SimnetRunner {
     abw_prober: PathloadProber,
     probe_interval_s: f64,
     fidelity: ExchangeFidelity,
-    /// Whether the per-node probe timers have been seeded (first
-    /// `run_for` call only — the chains re-arm themselves after that).
+    /// Whether the per-node probe timers have been seeded (first run
+    /// only — the chains re-arm themselves after that).
     timers_seeded: bool,
-    rng: ChaCha8Rng,
+    /// Simulated seconds one [`Driver::round`] advances.
+    quantum_s: f64,
     stats: RunnerStats,
 }
 
-impl SimnetRunner {
-    /// Builds a runner over `dataset` (RTT or ABW decides the
-    /// algorithm), classifying at `tau`.
-    pub fn new(dataset: Dataset, tau: f64, config: DmfsgdConfig, net_config: NetConfig) -> Self {
-        config.validate();
-        assert!(tau > 0.0, "tau must be positive");
+impl SimnetDriver {
+    /// Builds the transport for `session` over `dataset` (whose metric
+    /// decides Algorithm 1 vs 2). The classification threshold comes
+    /// from the session (set it via
+    /// [`SessionBuilder::tau`](crate::session::SessionBuilder::tau)).
+    ///
+    /// Message delays always need an RTT-like latency model; ABW
+    /// datasets use a uniform control-plane delay instead.
+    pub fn new(
+        session: &Session,
+        dataset: Dataset,
+        net_config: NetConfig,
+    ) -> Result<Self, DmfsgdError> {
+        let tau = session.tau().ok_or(ConfigError::MissingTau)?;
+        Self::with_tau(session, dataset, tau, net_config)
+    }
+
+    /// [`new`](Self::new) with an explicit threshold, overriding the
+    /// session's τ.
+    pub fn with_tau(
+        session: &Session,
+        dataset: Dataset,
+        tau: f64,
+        net_config: NetConfig,
+    ) -> Result<Self, DmfsgdError> {
+        ConfigError::check_tau(tau)?;
         let n = dataset.len();
-        assert!(n > config.k, "need more nodes than neighbors");
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5117_babe);
-        let nodes: Vec<DmfsgdNode> = (0..n)
-            .map(|i| DmfsgdNode::new(i, config.rank, &mut rng))
-            .collect();
-        let neighbors = NeighborSets::random(n, config.k, &mut rng);
-        // Message delays always need an RTT-like latency model; for ABW
-        // datasets use a uniform control-plane delay instead.
+        if n != session.len() {
+            return Err(MembershipError::ProviderMismatch {
+                provider: n,
+                session: session.len(),
+            }
+            .into());
+        }
         let net = if dataset.metric == Metric::Rtt {
             SimNet::from_rtt_dataset(&dataset, net_config)
         } else {
             SimNet::uniform(n, 0.04, net_config)
         };
-        Self {
-            config,
-            nodes,
-            neighbors,
+        Ok(Self {
             net,
             dataset,
             tau,
@@ -168,16 +193,30 @@ impl SimnetRunner {
             probe_interval_s: 1.0,
             fidelity: ExchangeFidelity::default(),
             timers_seeded: false,
-            rng,
+            quantum_s: 10.0,
             stats: RunnerStats::default(),
-        }
+        })
     }
 
     /// Sets the probe timer period (default 1 s).
-    pub fn with_probe_interval(mut self, seconds: f64) -> Self {
-        assert!(seconds > 0.0, "probe interval must be positive");
+    pub fn with_probe_interval(mut self, seconds: f64) -> Result<Self, DmfsgdError> {
+        let valid = seconds.is_finite() && seconds > 0.0;
+        if !valid {
+            return Err(ConfigError::ProbeInterval { seconds }.into());
+        }
         self.probe_interval_s = seconds;
-        self
+        Ok(self)
+    }
+
+    /// Sets the simulated seconds one [`Driver::round`] advances
+    /// (default 10 s).
+    pub fn with_quantum(mut self, seconds: f64) -> Result<Self, DmfsgdError> {
+        let valid = seconds.is_finite() && seconds > 0.0;
+        if !valid {
+            return Err(ConfigError::Duration { seconds }.into());
+        }
+        self.quantum_s = seconds;
+        Ok(self)
     }
 
     /// Selects how RTT exchanges execute (default
@@ -185,11 +224,6 @@ impl SimnetRunner {
     pub fn with_exchange_fidelity(mut self, fidelity: ExchangeFidelity) -> Self {
         self.fidelity = fidelity;
         self
-    }
-
-    /// Immutable access to the nodes.
-    pub fn nodes(&self) -> &[DmfsgdNode] {
-        &self.nodes
     }
 
     /// Run statistics.
@@ -203,88 +237,86 @@ impl SimnetRunner {
         self.net.now()
     }
 
-    /// Raw predictor score `u_i · v_j`.
-    pub fn raw_score(&self, i: usize, j: usize) -> f64 {
-        self.nodes[i].predict_to(&self.nodes[j])
-    }
-
-    /// Materializes all pairwise scores for evaluation as one batched
-    /// `U·Vᵀ` product (bitwise-identical to evaluating
-    /// [`raw_score`](Self::raw_score) per pair, orders of magnitude
-    /// faster at population scale).
-    pub fn predicted_scores(&self) -> Matrix {
-        batched_scores(&self.nodes)
-    }
-
-    /// [`predicted_scores`](Self::predicted_scores) into an existing
-    /// matrix, reusing its allocation across repeated evaluations.
-    pub fn predicted_scores_into(&self, out: &mut Matrix) {
-        batched_scores_into(&self.nodes, out);
-    }
-
-    /// Reference implementation of [`predicted_scores`]: one virtual
-    /// per-pair dot at a time. Kept for the equivalence property tests
-    /// and as documentation of the semantics.
+    /// Runs the protocol until simulated time `deadline_s`, starting
+    /// all probe timers at jittered offsets on the first call. Returns
+    /// the measurements completed during this call.
     ///
-    /// [`predicted_scores`]: Self::predicted_scores
-    pub fn predicted_scores_naive(&self) -> Matrix {
-        let n = self.nodes.len();
-        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { self.raw_score(i, j) })
-    }
-
-    /// Runs the protocol until simulated time `duration_s`, starting
-    /// all probe timers at jittered offsets.
-    ///
-    /// Events scheduled past `duration_s` stay queued: the simulated
-    /// clock never overshoots the deadline, and a later `run_for` with
-    /// a larger deadline picks up exactly where this one stopped.
-    pub fn run_for(&mut self, duration_s: f64) {
-        assert!(duration_s > 0.0, "duration must be positive");
+    /// Events scheduled past `deadline_s` stay queued: the simulated
+    /// clock never overshoots the deadline, and a later call with a
+    /// larger deadline picks up exactly where this one stopped.
+    pub fn run_until(
+        &mut self,
+        session: &mut Session,
+        deadline_s: f64,
+    ) -> Result<usize, DmfsgdError> {
+        if session.len() != self.net.len() {
+            return Err(MembershipError::ProviderMismatch {
+                provider: self.net.len(),
+                session: session.len(),
+            }
+            .into());
+        }
+        let before = self.stats.measurements_completed;
         // Seed one probe timer per node on the first call only: every
         // timer chain re-arms itself, so a resumed run keeps the
         // configured probe rate instead of stacking a second chain.
         if !self.timers_seeded {
             self.timers_seeded = true;
-            let n = self.nodes.len();
+            let n = self.net.len();
             for i in 0..n {
-                let offset = self.rng.gen::<f64>() * self.probe_interval_s;
+                let offset = session.rng.gen::<f64>() * self.probe_interval_s;
                 self.net.set_timer(i, offset, Msg::ProbeTick);
             }
         }
-        while let Some((now, delivery)) = self.net.next_delivery_before(duration_s) {
-            self.handle(now, delivery.from, delivery.to, delivery.msg);
+        while let Some((now, delivery)) = self.net.next_delivery_before(deadline_s) {
+            self.handle(session, now, delivery.from, delivery.to, delivery.msg);
         }
+        Ok(self.stats.measurements_completed - before)
     }
 
     /// Fused-mode probe departing node `i` at (current or future) time
     /// `tick_at`: draws the neighbor and schedules the round trip. A
     /// lost exchange would break the probe chain, so it falls back to
     /// a bare timer that keeps the probe clock ticking.
-    fn fire_fused_probe(&mut self, i: usize, tick_at: f64) {
-        let j = self.neighbors.sample_neighbor(i, &mut self.rng);
+    fn fire_fused_probe(&mut self, session: &mut Session, i: usize, tick_at: f64) {
+        let j = session.neighbors.sample_neighbor(i, &mut session.rng);
         self.stats.probes_sent += 1;
         if !self
             .net
             .roundtrip_at(i, j, tick_at, Msg::RttExchange { sent_at: tick_at })
         {
-            let jitter = 0.9 + 0.2 * self.rng.gen::<f64>();
+            let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
             self.net
                 .set_timer_at(i, tick_at + self.probe_interval_s * jitter, Msg::ProbeTick);
         }
     }
 
-    fn handle(&mut self, now: f64, from: usize, to: usize, msg: Msg) {
+    /// Re-arms node `i`'s probe timer one jittered interval ahead.
+    fn rearm_timer(&mut self, session: &mut Session, i: usize) {
+        let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
+        self.net
+            .set_timer(i, self.probe_interval_s * jitter, Msg::ProbeTick);
+    }
+
+    fn handle(&mut self, session: &mut Session, now: f64, from: usize, to: usize, msg: Msg) {
         match msg {
             Msg::ProbeTick => {
                 let i = to;
+                // A departed node keeps its timer chain idling (one
+                // cheap self-event per interval) so a rejoined slot
+                // resumes probing without external re-seeding.
+                if !session.is_alive(i) {
+                    self.rearm_timer(session, i);
+                    return;
+                }
                 if self.dataset.metric == Metric::Rtt && self.fidelity == ExchangeFidelity::Fused {
                     // The whole round trip is one future event (no
                     // outstanding-probe bookkeeping; the completion
                     // handler chains the next probe itself).
-                    self.fire_fused_probe(i, now);
+                    self.fire_fused_probe(session, i, now);
                     return;
                 }
-                let j = self.neighbors.sample_neighbor(i, &mut self.rng);
+                let j = session.neighbors.sample_neighbor(i, &mut session.rng);
                 self.stats.probes_sent += 1;
                 match self.dataset.metric {
                     Metric::Rtt => {
@@ -300,18 +332,21 @@ impl SimnetRunner {
                         self.net.send(i, j, Msg::RttProbe);
                     }
                     Metric::Abw => {
-                        let u = self.nodes[i].coords.u.clone();
+                        let u = session.nodes[i].coords.u.clone();
                         self.net.send(i, j, Msg::AbwProbe { u });
                     }
                 }
                 // Re-arm the timer.
-                let jitter = 0.9 + 0.2 * self.rng.gen::<f64>();
-                self.net
-                    .set_timer(i, self.probe_interval_s * jitter, Msg::ProbeTick);
+                self.rearm_timer(session, i);
             }
             Msg::RttProbe => {
-                // Step 2 at node j: reply with coordinates.
-                let (u, v) = self.nodes[to].rtt_reply();
+                // Step 2 at node j: reply with coordinates (departed
+                // nodes answer no probes; the prober's pending entry
+                // is overwritten by its next probe of that target).
+                if !session.is_alive(to) {
+                    return;
+                }
+                let (u, v) = session.nodes[to].rtt_reply();
                 self.net.send(to, from, Msg::RttReply { u, v });
             }
             Msg::RttExchange { sent_at } => {
@@ -320,20 +355,30 @@ impl SimnetRunner {
                 // the target's (live) coordinates.
                 let i = to;
                 let j = from;
-                let rtt_ms = (now - sent_at) * 1000.0;
-                let x = Metric::Rtt.classify(rtt_ms, self.tau);
-                let params = self.config.sgd;
-                // Disjoint borrows of prober and target (i ≠ j by the
-                // neighbor-set invariant) avoid snapshot copies.
-                let (prober, target) = if i < j {
-                    let (lo, hi) = self.nodes.split_at_mut(j);
-                    (&mut lo[i], &hi[0])
-                } else {
-                    let (lo, hi) = self.nodes.split_at_mut(i);
-                    (&mut hi[0], &lo[j])
-                };
-                prober.on_rtt_measurement(x, &target.coords.u, &target.coords.v, &params);
-                self.stats.measurements_completed += 1;
+                if !session.is_alive(i) {
+                    // Prober left with the exchange in flight: keep
+                    // the probe clock ticking for a future rejoin.
+                    self.rearm_timer(session, i);
+                    return;
+                }
+                if session.is_alive(j) {
+                    let rtt_ms = (now - sent_at) * 1000.0;
+                    let x = Metric::Rtt.classify(rtt_ms, self.tau);
+                    let params = session.config.sgd;
+                    // Disjoint borrows of prober and target (i ≠ j by
+                    // the neighbor-set invariant) avoid snapshot
+                    // copies.
+                    let (prober, target) = if i < j {
+                        let (lo, hi) = session.nodes.split_at_mut(j);
+                        (&mut lo[i], &hi[0])
+                    } else {
+                        let (lo, hi) = session.nodes.split_at_mut(i);
+                        (&mut hi[0], &lo[j])
+                    };
+                    prober.on_rtt_measurement(x, &target.coords.u, &target.coords.v, &params);
+                    session.measurements += 1;
+                    self.stats.measurements_completed += 1;
+                }
                 // Chain node i's next probe directly: one event per
                 // probe cycle instead of a separate timer tick. The
                 // next tick nominally fires at `sent_at + interval`,
@@ -342,10 +387,10 @@ impl SimnetRunner {
                 // if a pathological config makes it land in the past,
                 // fall back to an immediate timer so the schedule only
                 // ever slips, never panics.
-                let jitter = 0.9 + 0.2 * self.rng.gen::<f64>();
+                let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
                 let t_next = sent_at + self.probe_interval_s * jitter;
                 if t_next > now {
-                    self.fire_fused_probe(i, t_next);
+                    self.fire_fused_probe(session, i, t_next);
                 } else {
                     self.net.set_timer(i, 0.0, Msg::ProbeTick);
                 }
@@ -355,6 +400,9 @@ impl SimnetRunner {
                 // round-trip time of this very exchange.
                 let i = to;
                 let j = from;
+                if !session.is_alive(i) {
+                    return;
+                }
                 let pending = &mut self.pending_rtt[i];
                 let Some(pos) = pending.iter().position(|&(target, _)| target == j) else {
                     return; // duplicate or stale reply
@@ -362,38 +410,194 @@ impl SimnetRunner {
                 let (_, sent_at) = pending.swap_remove(pos);
                 let rtt_ms = (now - sent_at) * 1000.0;
                 let x = Metric::Rtt.classify(rtt_ms, self.tau);
-                let params = self.config.sgd;
-                self.nodes[i].on_rtt_measurement(x, &u, &v, &params);
+                let params = session.config.sgd;
+                session.nodes[i].on_rtt_measurement(x, &u, &v, &params);
+                session.measurements += 1;
                 self.stats.measurements_completed += 1;
             }
             Msg::AbwProbe { u } => {
                 // Steps 2–4 at target j: measure, snapshot v_j, update.
                 let j = to;
                 let i = from;
+                if !session.is_alive(j) {
+                    return;
+                }
                 let Some(x) =
                     self.abw_prober
-                        .probe_class(&self.dataset, i, j, self.tau, &mut self.rng)
+                        .probe_class(&self.dataset, i, j, self.tau, &mut session.rng)
                 else {
                     return; // pair not in ground truth
                 };
-                let params = self.config.sgd;
-                let v = self.nodes[j].on_abw_probe(x, &u, &params);
+                let params = session.config.sgd;
+                let v = session.nodes[j].on_abw_probe(x, &u, &params);
                 self.net.send(j, i, Msg::AbwReply { x, v });
             }
             Msg::AbwReply { x, v } => {
                 // Step 5 at node i.
-                let params = self.config.sgd;
-                self.nodes[to].on_abw_reply(x, &v, &params);
+                if !session.is_alive(to) {
+                    return;
+                }
+                let params = session.config.sgd;
+                session.nodes[to].on_abw_reply(x, &v, &params);
+                session.measurements += 1;
                 self.stats.measurements_completed += 1;
             }
         }
     }
+}
 
-    /// Consumes the runner and returns the trained nodes. There is no
-    /// [`DmfsgdSystem`] conversion: evaluation works on
-    /// [`predicted_scores`](Self::predicted_scores) directly.
+impl std::fmt::Debug for SimnetDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimnetDriver")
+            .field("nodes", &self.net.len())
+            .field("metric", &self.dataset.metric)
+            .field("tau", &self.tau)
+            .field("probe_interval_s", &self.probe_interval_s)
+            .field("fidelity", &self.fidelity)
+            .field("quantum_s", &self.quantum_s)
+            .field("now", &self.net.now())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Driver for SimnetDriver {
+    /// One round = one quantum of simulated time (see
+    /// [`with_quantum`](Self::with_quantum)).
+    fn round(&mut self, session: &mut Session) -> Result<usize, DmfsgdError> {
+        let deadline = self.net.now() + self.quantum_s;
+        self.run_until(session, deadline)
+    }
+}
+
+/// A DMFSGD deployment over the simulated network: a [`Session`]
+/// bundled with its [`SimnetDriver`] for the common
+/// build-train-evaluate flow.
+#[derive(Debug)]
+pub struct SimnetRunner {
+    session: Session,
+    driver: SimnetDriver,
+}
+
+impl SimnetRunner {
+    /// Builds a runner over `dataset` (RTT or ABW decides the
+    /// algorithm), classifying at `tau`.
+    ///
+    /// The internal session derives its RNG stream from
+    /// `config.seed ^ 0x5117_babe` — kept from the historical runner
+    /// so simulated runs stay reproducible across releases —
+    /// distinguishing it from an oracle-driven session with the same
+    /// seed.
+    pub fn new(
+        dataset: Dataset,
+        tau: f64,
+        config: DmfsgdConfig,
+        net_config: NetConfig,
+    ) -> Result<Self, DmfsgdError> {
+        let mut session_config = config;
+        session_config.seed ^= 0x5117_babe;
+        let session = SessionBuilder::from_config(session_config)
+            .nodes(dataset.len())
+            .tau(tau)
+            .build()?;
+        let driver = SimnetDriver::new(&session, dataset, net_config)?;
+        Ok(Self { session, driver })
+    }
+
+    /// Sets the probe timer period (default 1 s).
+    pub fn with_probe_interval(mut self, seconds: f64) -> Result<Self, DmfsgdError> {
+        self.driver = self.driver.with_probe_interval(seconds)?;
+        Ok(self)
+    }
+
+    /// Selects how RTT exchanges execute (default
+    /// [`ExchangeFidelity::Fused`]; ABW always runs per-message).
+    pub fn with_exchange_fidelity(mut self, fidelity: ExchangeFidelity) -> Self {
+        self.driver = self.driver.with_exchange_fidelity(fidelity);
+        self
+    }
+
+    /// The underlying session (live coordinates, membership, queries).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (membership changes
+    /// between runs).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Splits the runner into its session and driver.
+    pub fn into_parts(self) -> (Session, SimnetDriver) {
+        (self.session, self.driver)
+    }
+
+    /// Immutable access to the nodes.
+    pub fn nodes(&self) -> &[DmfsgdNode] {
+        self.session.nodes()
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> RunnerStats {
+        self.driver.stats()
+    }
+
+    /// Current simulated time (the timestamp of the last delivered
+    /// event; 0 before the first).
+    pub fn now(&self) -> f64 {
+        self.driver.now()
+    }
+
+    /// Raw predictor score `u_i · v_j`.
+    pub fn raw_score(&self, i: usize, j: usize) -> f64 {
+        self.session.raw_score_unchecked(i, j)
+    }
+
+    /// Materializes all pairwise scores for evaluation as one batched
+    /// `U·Vᵀ` product (bitwise-identical to evaluating
+    /// [`raw_score`](Self::raw_score) per pair, orders of magnitude
+    /// faster at population scale).
+    pub fn predicted_scores(&self) -> Matrix {
+        self.session.predicted_scores()
+    }
+
+    /// [`predicted_scores`](Self::predicted_scores) into an existing
+    /// matrix, reusing its allocation across repeated evaluations.
+    pub fn predicted_scores_into(&self, out: &mut Matrix) {
+        self.session.predicted_scores_into(out);
+    }
+
+    /// Reference implementation of [`predicted_scores`]: one virtual
+    /// per-pair dot at a time. Kept for the equivalence property tests
+    /// and as documentation of the semantics.
+    ///
+    /// [`predicted_scores`]: Self::predicted_scores
+    pub fn predicted_scores_naive(&self) -> Matrix {
+        self.session.predicted_scores_naive()
+    }
+
+    /// Runs the protocol until simulated time `duration_s`, starting
+    /// all probe timers at jittered offsets.
+    ///
+    /// Events scheduled past `duration_s` stay queued: the simulated
+    /// clock never overshoots the deadline, and a later `run_for` with
+    /// a larger deadline picks up exactly where this one stopped.
+    pub fn run_for(&mut self, duration_s: f64) -> Result<usize, DmfsgdError> {
+        let valid = duration_s.is_finite() && duration_s > 0.0;
+        if !valid {
+            return Err(ConfigError::Duration {
+                seconds: duration_s,
+            }
+            .into());
+        }
+        self.driver.run_until(&mut self.session, duration_s)
+    }
+
+    /// Consumes the runner and returns the trained nodes. Evaluation
+    /// works on [`predicted_scores`](Self::predicted_scores) directly.
     pub fn into_nodes(self) -> Vec<DmfsgdNode> {
-        self.nodes
+        self.session.into_nodes()
     }
 }
 
@@ -432,11 +636,12 @@ pub(crate) fn batched_scores_into(nodes: &[DmfsgdNode], out: &mut Matrix) {
     }
 }
 
-/// Convenience: checks that oracle-driven and simnet-driven training
-/// agree in distribution (used by integration tests; exposed so the
-/// harness can report it).
-pub fn sign_agreement(system: &DmfsgdSystem, runner: &SimnetRunner) -> f64 {
-    let n = system.len().min(runner.nodes().len());
+/// Fraction of ordered pairs on which an oracle-trained session and a
+/// simnet-trained runner predict the same class — the
+/// cross-front-end agreement metric (pinned by
+/// `tests/decentralization.rs`).
+pub fn sign_agreement(session: &Session, runner: &SimnetRunner) -> f64 {
+    let n = session.len().min(runner.nodes().len());
     let mut agree = 0usize;
     let mut total = 0usize;
     for i in 0..n {
@@ -445,7 +650,7 @@ pub fn sign_agreement(system: &DmfsgdSystem, runner: &SimnetRunner) -> f64 {
                 continue;
             }
             total += 1;
-            if (system.raw_score(i, j) >= 0.0) == (runner.raw_score(i, j) >= 0.0) {
+            if (session.raw_score_unchecked(i, j) >= 0.0) == (runner.raw_score(i, j) >= 0.0) {
                 agree += 1;
             }
         }
@@ -483,8 +688,10 @@ mod tests {
         let cm = d.classify(tau);
         let mut runner =
             SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
-                .with_probe_interval(0.5);
-        runner.run_for(150.0);
+                .expect("valid")
+                .with_probe_interval(0.5)
+                .expect("positive interval");
+        runner.run_for(150.0).expect("run");
         let acc = sign_accuracy(&runner, &cm);
         assert!(acc > 0.7, "message-driven accuracy {acc}");
         assert!(runner.stats().measurements_completed > 1000);
@@ -501,9 +708,11 @@ mod tests {
             let cm = d.classify(tau);
             let mut runner =
                 SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                    .expect("valid")
                     .with_probe_interval(0.5)
+                    .expect("positive interval")
                     .with_exchange_fidelity(fidelity);
-            runner.run_for(150.0);
+            runner.run_for(150.0).expect("run");
             (sign_accuracy(&runner, &cm), runner.stats())
         };
         let (acc_fused, stats_fused) = run_with(ExchangeFidelity::Fused);
@@ -541,9 +750,11 @@ mod tests {
                 ..NetConfig::default()
             },
         )
+        .expect("valid")
         .with_probe_interval(0.5)
+        .expect("positive interval")
         .with_exchange_fidelity(ExchangeFidelity::PerMessage);
-        runner.run_for(200.0);
+        runner.run_for(200.0).expect("run");
         let acc = sign_accuracy(&runner, &cm);
         assert!(acc > 0.65, "per-message lossy accuracy {acc}");
     }
@@ -555,8 +766,10 @@ mod tests {
         let cm = d.classify(tau);
         let mut runner =
             SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
-                .with_probe_interval(0.5);
-        runner.run_for(150.0);
+                .expect("valid")
+                .with_probe_interval(0.5)
+                .expect("positive interval");
+        runner.run_for(150.0).expect("run");
         let acc = sign_accuracy(&runner, &cm);
         assert!(acc > 0.65, "ABW message-driven accuracy {acc}");
     }
@@ -576,8 +789,10 @@ mod tests {
                 ..NetConfig::default()
             },
         )
-        .with_probe_interval(0.5);
-        runner.run_for(200.0);
+        .expect("valid")
+        .with_probe_interval(0.5)
+        .expect("positive interval");
+        runner.run_for(200.0).expect("run");
         let stats = runner.stats();
         assert!(
             stats.measurements_completed < stats.probes_sent,
@@ -603,8 +818,10 @@ mod tests {
                 ..NetConfig::default()
             },
         )
-        .with_probe_interval(0.3);
-        runner.run_for(120.0);
+        .expect("valid")
+        .with_probe_interval(0.3)
+        .expect("positive interval");
+        runner.run_for(120.0).expect("run");
         let acc = sign_accuracy(&runner, &cm);
         assert!(acc > 0.75, "noise-free timing accuracy {acc}");
     }
@@ -615,11 +832,115 @@ mod tests {
             let d = meridian_like(20, 5);
             let tau = d.median();
             let mut r =
-                SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default());
-            r.run_for(30.0);
+                SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                    .expect("valid");
+            r.run_for(30.0).expect("run");
             r.predicted_scores()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn constructor_and_knobs_return_typed_errors() {
+        let d = meridian_like(20, 6);
+        let tau = d.median();
+        assert!(matches!(
+            SimnetRunner::new(
+                d.clone(),
+                -1.0,
+                DmfsgdConfig::paper_defaults(),
+                NetConfig::default()
+            )
+            .unwrap_err(),
+            DmfsgdError::Config(ConfigError::Tau { .. })
+        ));
+        let mut small = DmfsgdConfig::paper_defaults();
+        small.k = 30;
+        assert!(matches!(
+            SimnetRunner::new(d.clone(), tau, small, NetConfig::default()).unwrap_err(),
+            DmfsgdError::Config(ConfigError::TooFewNodes { .. })
+        ));
+        let runner = SimnetRunner::new(
+            d.clone(),
+            tau,
+            DmfsgdConfig::paper_defaults(),
+            NetConfig::default(),
+        )
+        .expect("valid");
+        assert!(matches!(
+            runner.with_probe_interval(0.0).unwrap_err(),
+            DmfsgdError::Config(ConfigError::ProbeInterval { .. })
+        ));
+        let mut runner =
+            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                .expect("valid");
+        assert!(matches!(
+            runner.run_for(0.0).unwrap_err(),
+            DmfsgdError::Config(ConfigError::Duration { .. })
+        ));
+    }
+
+    #[test]
+    fn driver_rounds_advance_in_quanta() {
+        let d = meridian_like(25, 9);
+        let tau = d.median();
+        let mut session = Session::builder()
+            .nodes(25)
+            .k(8)
+            .seed(9)
+            .tau(tau)
+            .build()
+            .expect("valid");
+        let mut driver = SimnetDriver::new(&session, d, NetConfig::default())
+            .expect("valid")
+            .with_quantum(15.0)
+            .expect("positive quantum");
+        let applied = session.drive(&mut driver, 4).expect("drive");
+        assert!(driver.now() <= 60.0, "clock overshot the rounds");
+        assert!(applied > 0, "rounds must complete measurements");
+        assert_eq!(applied, driver.stats().measurements_completed);
+        assert_eq!(applied, session.measurements_used());
+    }
+
+    #[test]
+    fn churn_mid_simulation_keeps_learning() {
+        let d = meridian_like(30, 10);
+        let tau = d.median();
+        let cm = d.classify(tau);
+        let mut session = Session::builder()
+            .nodes(30)
+            .k(8)
+            .seed(10)
+            .tau(tau)
+            .build()
+            .expect("valid");
+        let mut driver = SimnetDriver::new(&session, d, NetConfig::default())
+            .expect("valid")
+            .with_probe_interval(0.5)
+            .expect("positive interval");
+        driver.run_until(&mut session, 60.0).expect("warmup");
+        session.leave(4).expect("leave");
+        session.leave(11).expect("leave");
+        driver.run_until(&mut session, 120.0).expect("degraded run");
+        session.join().expect("rejoin");
+        session.join().expect("rejoin");
+        driver.run_until(&mut session, 220.0).expect("recovery");
+        // Accuracy over alive pairs after the full churn cycle.
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for (i, j) in cm.mask.iter_known() {
+            total += 1;
+            let predicted = if session.raw_score_unchecked(i, j) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
+            if Some(predicted) == cm.label(i, j) {
+                ok += 1;
+            }
+        }
+        let acc = ok as f64 / total as f64;
+        assert!(acc > 0.65, "post-churn simnet accuracy {acc}");
     }
 
     #[test]
@@ -631,9 +952,11 @@ mod tests {
         let tau = d.median();
         let mut runner =
             SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
-                .with_probe_interval(0.37);
+                .expect("valid")
+                .with_probe_interval(0.37)
+                .expect("positive interval");
         let duration = 41.3;
-        runner.run_for(duration);
+        runner.run_for(duration).expect("run");
         assert!(
             runner.now() <= duration,
             "simulated clock {} overshot the {duration}s deadline",
@@ -648,10 +971,11 @@ mod tests {
         let d = meridian_like(20, 7);
         let tau = d.median();
         let mut runner =
-            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default());
-        runner.run_for(20.0);
+            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                .expect("valid");
+        runner.run_for(20.0).expect("run");
         let mid = runner.stats().measurements_completed;
-        runner.run_for(40.0);
+        runner.run_for(40.0).expect("run");
         assert!(runner.now() <= 40.0);
         let second_half = runner.stats().measurements_completed - mid;
         // Resuming must keep the configured probe rate, not stack a
@@ -668,8 +992,9 @@ mod tests {
         let d = meridian_like(30, 8);
         let tau = d.median();
         let mut runner =
-            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default());
-        runner.run_for(25.0);
+            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                .expect("valid");
+        runner.run_for(25.0).expect("run");
         let batched = runner.predicted_scores();
         let naive = runner.predicted_scores_naive();
         assert_eq!(batched, naive, "batched U·Vᵀ must equal per-pair dots");

@@ -1,110 +1,113 @@
-//! Population-level driver: the paper's evaluation protocol.
+//! Legacy population driver, now a thin shim over
+//! [`crate::session::Session`].
 //!
-//! "Each node randomly and independently chooses a neighbor set of k
-//! nodes as references and randomly probes one of its neighbors at
-//! each time" (§5.3). [`DmfsgdSystem`] replays exactly that schedule —
-//! either as random pair draws (Meridian, HP-S3 "used in random
-//! order") or following the timestamps of a dynamic trace (Harvard,
-//! "used in time order").
+//! [`DmfsgdSystem`] was the original one-shot batch harness: construct
+//! with [`new`](DmfsgdSystem::new) (which panics on bad input), train
+//! with [`run`](DmfsgdSystem::run), evaluate. The service-grade
+//! replacement is the [`Session`] API — panic-free construction via
+//! [`SessionBuilder`], typed errors,
+//! dynamic membership, snapshots — and every method here simply
+//! delegates to an owned `Session`, preserving the historical
+//! semantics bit for bit (including the panicking error handling,
+//! which formats the underlying [`crate::error::DmfsgdError`]s into the original
+//! assertion messages).
 //!
-//! For the same node logic driven through real message passing with
-//! latency and loss, see [`crate::runner`].
-//!
-//! The driver calls the node handlers of [`crate::node`]; it never
-//! builds a matrix for training. `predicted_scores` materializes the
-//! estimate matrix only for *evaluation*, mirroring how the paper's
-//! simulations compute ROC/AUC after the fact.
+//! New code should use [`Session`] directly; this type exists so
+//! downstream users migrate on their own schedule.
 
 use crate::config::{DmfsgdConfig, PredictionMode};
 use crate::node::DmfsgdNode;
 use crate::provider::MeasurementProvider;
+use crate::session::{Session, SessionBuilder};
 use dmf_datasets::{DynamicTrace, Metric};
 use dmf_linalg::Matrix;
 use dmf_simnet::NeighborSets;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-/// A running DMFSGD population.
+/// A running DMFSGD population (legacy shim; prefer [`Session`]).
 pub struct DmfsgdSystem {
-    config: DmfsgdConfig,
-    nodes: Vec<DmfsgdNode>,
-    neighbors: NeighborSets,
-    rng: ChaCha8Rng,
-    measurements: usize,
+    session: Session,
 }
 
 impl DmfsgdSystem {
     /// Creates `n` nodes with random coordinates and random neighbor
     /// sets of size `config.k`.
+    ///
+    /// # Panics
+    /// Panics on any invalid knob; [`SessionBuilder::build`] returns
+    /// the same conditions as typed [`crate::error::ConfigError`]s.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the panic-free builder: `Session::builder().config(config).nodes(n).build()`"
+    )]
     pub fn new(n: usize, config: DmfsgdConfig) -> Self {
-        config.validate();
-        assert!(
-            n > config.k,
-            "need more nodes than neighbors (n={n}, k={})",
-            config.k
-        );
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let nodes = (0..n)
-            .map(|i| DmfsgdNode::new(i, config.rank, &mut rng))
-            .collect();
-        let neighbors = NeighborSets::random(n, config.k, &mut rng);
-        Self {
-            config,
-            nodes,
-            neighbors,
-            rng,
-            measurements: 0,
+        match SessionBuilder::from_config(config).nodes(n).build() {
+            Ok(session) => Self { session },
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The session behind this shim.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the session behind this shim.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Unwraps into the underlying [`Session`].
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &DmfsgdConfig {
-        &self.config
+        self.session.config()
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.session.len()
     }
 
     /// True when the system has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.session.is_empty()
     }
 
     /// Immutable view of a node.
     pub fn node(&self, i: usize) -> &DmfsgdNode {
-        &self.nodes[i]
+        &self.session.nodes()[i]
     }
 
     /// The neighbor sets in force.
     pub fn neighbors(&self) -> &NeighborSets {
-        &self.neighbors
+        self.session.neighbors()
     }
 
     /// Total measurements processed so far.
     pub fn measurements_used(&self) -> usize {
-        self.measurements
+        self.session.measurements_used()
     }
 
     /// Average measurements per node — the x-axis of the paper's
     /// convergence plot (Figure 5c).
     pub fn avg_measurements_per_node(&self) -> f64 {
-        self.measurements as f64 / self.nodes.len() as f64
+        self.session.avg_measurements_per_node()
     }
 
     /// Raw predictor output `u_i · v_j` (the score whose sign is the
     /// predicted class; peer selection ranks this directly).
     pub fn raw_score(&self, i: usize, j: usize) -> f64 {
-        self.nodes[i].predict_to(&self.nodes[j])
+        self.session.raw_score_unchecked(i, j)
     }
 
     /// Predicted measure in natural units: for class mode this is the
     /// raw score; for quantity mode the score is scaled back to
     /// ms/Mbps.
     pub fn predict(&self, i: usize, j: usize) -> f64 {
-        match self.config.mode {
+        match self.session.config().mode {
             PredictionMode::Class => self.raw_score(i, j),
             PredictionMode::Quantity { value_scale } => self.raw_score(i, j) * value_scale,
         }
@@ -115,80 +118,75 @@ impl DmfsgdSystem {
     /// packed coordinate rows. Bitwise-identical to calling
     /// [`raw_score`](Self::raw_score) per pair.
     pub fn predicted_scores(&self) -> Matrix {
-        crate::runner::batched_scores(&self.nodes)
+        self.session.predicted_scores()
     }
 
     /// [`predicted_scores`](Self::predicted_scores) into an existing
     /// matrix, reusing its allocation across repeated evaluations.
     pub fn predicted_scores_into(&self, out: &mut Matrix) {
-        crate::runner::batched_scores_into(&self.nodes, out);
+        self.session.predicted_scores_into(out);
     }
 
     /// Reference implementation of
     /// [`predicted_scores`](Self::predicted_scores): one per-pair dot
     /// at a time. Kept for the equivalence property tests.
     pub fn predicted_scores_naive(&self) -> Matrix {
-        let n = self.len();
-        Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { self.raw_score(i, j) })
+        self.session.predicted_scores_naive()
     }
 
     /// Processes one measurement for the ordered pair `(i, j)` through
     /// the proper algorithm. Returns false when the pair could not be
     /// measured.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or the self-pair;
+    /// [`Session::process_pair`] returns those as typed errors.
     pub fn process_pair(
         &mut self,
         i: usize,
         j: usize,
         provider: &mut dyn MeasurementProvider,
     ) -> bool {
-        assert!(i < self.len() && j < self.len(), "node id out of range");
-        assert_ne!(i, j, "cannot measure the self-pair");
-        let Some(x) = provider.measure(i, j, &mut self.rng) else {
-            return false;
-        };
-        self.apply_measurement(i, j, x, provider.metric());
-        true
+        match self.session.process_pair(i, j, provider) {
+            Ok(measured) => measured,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Applies an already-obtained measurement value (used by the
-    /// trace replay and by the simnet/UDP runners, which measure
-    /// through their own transport).
+    /// trace replay and by external transports that measure on their
+    /// own).
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or the self-pair.
     pub fn apply_measurement(&mut self, i: usize, j: usize, x: f64, metric: Metric) {
-        let params = self.config.sgd;
-        if metric.is_symmetric() {
-            // Algorithm 1: the reply carries (u_j, v_j); node i updates.
-            let (u_j, v_j) = self.nodes[j].rtt_reply();
-            self.nodes[i].on_rtt_measurement(x, &u_j, &v_j, &params);
-        } else {
-            // Algorithm 2: node j infers x and updates v_j, node i
-            // updates u_i with the pre-update v_j snapshot.
-            let u_i = self.nodes[i].coords.u.clone();
-            let v_snapshot = self.nodes[j].on_abw_probe(x, &u_i, &params);
-            self.nodes[i].on_abw_reply(x, &v_snapshot, &params);
+        if let Err(e) = self.session.apply_measurement(i, j, x, metric) {
+            panic!("{e}");
         }
-        self.measurements += 1;
     }
 
     /// One protocol tick: a random node probes a random neighbor.
     /// Returns false when the drawn pair was unmeasurable.
     pub fn tick(&mut self, provider: &mut dyn MeasurementProvider) -> bool {
-        let i = self.rng.gen_range(0..self.len());
-        let j = self.neighbors.sample_neighbor(i, &mut self.rng);
-        self.process_pair(i, j, provider)
+        match self.session.tick(provider) {
+            Ok(measured) => measured,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Runs `count` ticks (unmeasurable draws still consume a tick, as
     /// a failed probe consumes a probing slot in practice).
+    ///
+    /// # Panics
+    /// Panics when the provider covers a different population;
+    /// [`Session::run`] reports that as a typed error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::run` (or drive the session through a `Driver`)"
+    )]
     pub fn run(&mut self, count: usize, provider: &mut dyn MeasurementProvider) {
-        assert_eq!(
-            provider.len(),
-            self.len(),
-            "provider covers {} nodes, system has {}",
-            provider.len(),
-            self.len()
-        );
-        for _ in 0..count {
-            self.tick(provider);
+        if let Err(e) = self.session.run(count, provider) {
+            panic!("{e}");
         }
     }
 
@@ -196,20 +194,24 @@ impl DmfsgdSystem {
     /// protocol): each measurement `(t, i, j, value)` is classified at
     /// `tau` (class mode) or scaled (quantity mode) and applied at
     /// node `i` via Algorithm 1.
+    ///
+    /// # Panics
+    /// Panics on a size mismatch or an unordered trace.
     pub fn run_trace(&mut self, trace: &DynamicTrace, tau: f64) {
-        assert_eq!(trace.nodes, self.len(), "trace/system size mismatch");
-        assert!(trace.is_time_ordered(), "trace must be time-ordered");
-        for m in &trace.measurements {
-            let x = match self.config.mode {
-                PredictionMode::Class => trace.metric.classify(m.value, tau),
-                PredictionMode::Quantity { value_scale } => m.value / value_scale,
-            };
-            self.apply_measurement(m.from, m.to, x, trace.metric);
+        if let Err(e) = self.session.run_trace(trace, tau) {
+            panic!("{e}");
         }
     }
 }
 
+impl From<Session> for DmfsgdSystem {
+    fn from(session: Session) -> Self {
+        Self { session }
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::provider::{ClassLabelProvider, QuantityProvider};
@@ -365,6 +367,21 @@ mod tests {
     }
 
     #[test]
+    fn shim_and_session_train_bit_identically() {
+        // The shim must be a pure delegation layer: same seed, same
+        // draws, same coordinates.
+        let d = meridian_like(30, 12);
+        let cm = d.classify(d.median());
+        let mut p1 = ClassLabelProvider::new(cm.clone());
+        let mut p2 = ClassLabelProvider::new(cm);
+        let mut shim = DmfsgdSystem::new(30, DmfsgdConfig::paper_defaults());
+        let mut session = Session::builder().nodes(30).build().expect("valid");
+        shim.run(700, &mut p1);
+        session.run(700, &mut p2).expect("run");
+        assert_eq!(shim.predicted_scores(), session.predicted_scores());
+    }
+
+    #[test]
     #[should_panic(expected = "more nodes than neighbors")]
     fn k_too_large_rejected() {
         DmfsgdSystem::new(5, DmfsgdConfig::paper_defaults());
@@ -377,5 +394,14 @@ mod tests {
         let mut provider = ClassLabelProvider::new(d.classify(d.median()));
         let mut sys = DmfsgdSystem::new(20, DmfsgdConfig::paper_defaults());
         sys.process_pair(3, 3, &mut provider);
+    }
+
+    #[test]
+    #[should_panic(expected = "provider covers")]
+    fn provider_mismatch_rejected() {
+        let d = meridian_like(20, 8);
+        let mut provider = ClassLabelProvider::new(d.classify(d.median()));
+        let mut sys = DmfsgdSystem::new(30, DmfsgdConfig::paper_defaults());
+        sys.run(10, &mut provider);
     }
 }

@@ -7,7 +7,7 @@
 //! while bumping an atomic).
 
 use dmf_core::runner::{ExchangeFidelity, SimnetRunner};
-use dmf_core::{DmfsgdConfig, DmfsgdSystem};
+use dmf_core::{DmfsgdConfig, Session};
 use dmf_datasets::rtt::meridian_like;
 use dmf_simnet::NetConfig;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -48,12 +48,13 @@ fn training_hot_paths_allocate_nothing_after_warmup() {
     let d = meridian_like(40, 1);
     let tau = d.median();
     let mut runner =
-        SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default());
+        SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+            .expect("valid config");
     // Warmup: several simulated seconds populate every queue bucket,
     // heap, slab slot and scratch list to steady-state capacity.
-    runner.run_for(30.0);
+    runner.run_for(30.0).expect("positive duration");
     let before = allocations();
-    runner.run_for(60.0);
+    runner.run_for(60.0).expect("positive duration");
     let during = allocations() - before;
     assert_eq!(
         during, 0,
@@ -66,10 +67,11 @@ fn training_hot_paths_allocate_nothing_after_warmup() {
     let tau = d.median();
     let mut runner =
         SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+            .expect("valid config")
             .with_exchange_fidelity(ExchangeFidelity::PerMessage);
-    runner.run_for(30.0);
+    runner.run_for(30.0).expect("positive duration");
     let before = allocations();
-    runner.run_for(60.0);
+    runner.run_for(60.0).expect("positive duration");
     let during = allocations() - before;
     assert_eq!(
         during, 0,
@@ -81,10 +83,14 @@ fn training_hot_paths_allocate_nothing_after_warmup() {
     let d = meridian_like(40, 3);
     let class = d.classify(d.median());
     let mut provider = dmf_core::provider::ClassLabelProvider::new(class);
-    let mut system = DmfsgdSystem::new(40, DmfsgdConfig::paper_defaults());
-    system.run(2_000, &mut provider);
+    let mut system = Session::builder().nodes(40).build().expect("valid config");
+    system
+        .run(2_000, &mut provider)
+        .expect("provider covers the session");
     let before = allocations();
-    system.run(10_000, &mut provider);
+    system
+        .run(10_000, &mut provider)
+        .expect("provider covers the session");
     let during = allocations() - before;
     assert_eq!(
         during, 0,

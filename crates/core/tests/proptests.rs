@@ -5,7 +5,7 @@ use dmf_core::coords::dot;
 use dmf_core::multiclass::OrdinalClassifier;
 use dmf_core::provider::ClassLabelProvider;
 use dmf_core::update::{local_objective, sgd_step};
-use dmf_core::{DmfsgdConfig, DmfsgdSystem, Loss};
+use dmf_core::{DmfsgdConfig, Loss, SessionBuilder};
 use proptest::prelude::*;
 
 fn coords(rank: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -139,8 +139,11 @@ proptest! {
         cfg.k = 8.min(n - 1);
         cfg.seed = seed;
         let mut provider = ClassLabelProvider::new(class);
-        let mut sys = DmfsgdSystem::new(n, cfg);
-        sys.run(ticks, &mut provider);
+        let mut sys = SessionBuilder::from_config(cfg)
+            .nodes(n)
+            .build()
+            .expect("valid config");
+        sys.run(ticks, &mut provider).expect("provider covers the session");
         let batched = sys.predicted_scores();
         let naive = sys.predicted_scores_naive();
         prop_assert_eq!(batched.shape(), naive.shape());
@@ -148,6 +151,61 @@ proptest! {
             prop_assert_eq!(
                 b.to_bits(), a.to_bits(),
                 "entry ({},{}) differs: batched {} vs naive {}", i, j, b, a
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_run_is_byte_identical_to_uninterrupted_run(
+        n in 12usize..36,
+        seed in 0u64..1_000,
+        warmup in 0usize..800,
+        resumed in 1usize..800,
+        churn in prop_oneof![Just(false), Just(true)],
+    ) {
+        // `snapshot → restore → run(k)` must equal an uninterrupted
+        // `run(warmup + k)` bit for bit: coordinates, RNG position,
+        // membership bookkeeping and counters all survive the JSON
+        // detour exactly.
+        let d = dmf_datasets::rtt::meridian_like(n, seed);
+        let class = d.classify(d.median());
+        let k = 6.min(n - 2);
+        let build = || {
+            dmf_core::Session::builder()
+                .nodes(n)
+                .k(k)
+                .seed(seed)
+                .build()
+                .expect("valid config")
+        };
+        let mut interrupted = build();
+        let mut uninterrupted = build();
+        let mut p1 = ClassLabelProvider::new(class.clone());
+        let mut p2 = ClassLabelProvider::new(class);
+        interrupted.run(warmup, &mut p1).expect("warmup");
+        uninterrupted.run(warmup, &mut p2).expect("warmup");
+        if churn && n > k + 2 {
+            // Membership state must survive checkpoints too.
+            interrupted.leave(n / 2).expect("leave");
+            uninterrupted.leave(n / 2).expect("leave");
+        }
+
+        // Checkpoint through the JSON wire format, not just memory.
+        let json = interrupted.snapshot().to_json();
+        let snap = dmf_core::Snapshot::from_json(&json).expect("parse");
+        let mut restored = dmf_core::Session::restore(&snap).expect("restore");
+
+        restored.run(resumed, &mut p1).expect("resume");
+        uninterrupted.run(resumed, &mut p2).expect("continue");
+
+        prop_assert_eq!(restored.measurements_used(), uninterrupted.measurements_used());
+        let a = restored.predicted_scores();
+        let b = uninterrupted.predicted_scores();
+        prop_assert_eq!(a.shape(), b.shape());
+        for ((i, j, x), (_, _, y)) in a.entries().zip(b.entries()) {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "entry ({},{}) diverged after restore: {} vs {}", i, j, x, y
             );
         }
     }

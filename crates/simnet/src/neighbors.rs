@@ -80,6 +80,77 @@ impl NeighborSets {
         set[rng.gen_range(0..set.len())]
     }
 
+    /// True when `j` is in node `i`'s neighbor list.
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.neighbors(i).contains(&j)
+    }
+
+    /// Appends a new node with the given neighbor list; returns its
+    /// id. O(len(set)) — no CSR rebuild.
+    ///
+    /// # Panics
+    /// Panics when the set contains the new node itself (callers
+    /// validate membership; this guards the structural invariant).
+    pub fn add_node(&mut self, set: &[usize]) -> usize {
+        let id = self.len();
+        assert!(!set.contains(&id), "node {id} cannot be its own neighbor");
+        self.flat.extend_from_slice(set);
+        self.offsets
+            .push(u32::try_from(self.flat.len()).expect("neighbor table overflow"));
+        id
+    }
+
+    /// Replaces the first occurrence of `old` in node `i`'s list with
+    /// `new`, in place (offsets untouched). Returns whether a
+    /// replacement happened. This is the O(k) repair primitive for
+    /// membership churn: swapping a departed neighbor for a live one
+    /// never changes row lengths, so the CSR layout needs no rebuild.
+    pub fn replace_in_row(&mut self, i: usize, old: usize, new: usize) -> bool {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        match self.flat[lo..hi].iter().position(|&x| x == old) {
+            Some(pos) => {
+                self.flat[lo + pos] = new;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites node `i`'s neighbor list. Same-length rows are
+    /// written in place (the common churn case: a rejoining node
+    /// resamples its `k` references); a length change triggers one
+    /// O(total) CSR rebuild — amortized out as long as `k` is stable.
+    ///
+    /// # Panics
+    /// Panics when the set contains node `i` itself.
+    pub fn set_row(&mut self, i: usize, set: &[usize]) {
+        assert!(!set.contains(&i), "node {i} cannot be its own neighbor");
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        if set.len() == hi - lo {
+            self.flat[lo..hi].copy_from_slice(set);
+            return;
+        }
+        // Rebuild: splice the new row in and reflow the offsets.
+        let mut flat = Vec::with_capacity(self.flat.len() - (hi - lo) + set.len());
+        flat.extend_from_slice(&self.flat[..lo]);
+        flat.extend_from_slice(set);
+        flat.extend_from_slice(&self.flat[hi..]);
+        let delta = set.len() as i64 - (hi - lo) as i64;
+        for off in self.offsets.iter_mut().skip(i + 1) {
+            *off = u32::try_from(i64::from(*off) + delta).expect("neighbor table overflow");
+        }
+        self.flat = flat;
+    }
+
+    /// Ids of all nodes whose neighbor list contains `j` (the rows a
+    /// departure of `j` would leave dangling). O(total neighbors).
+    pub fn rows_containing(&self, j: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.contains(i, j)).collect()
+    }
+
     /// Draws per-node peer sets of size `m`, disjoint from each node's
     /// neighbor set and excluding the node itself (paper §6.4).
     ///
@@ -215,6 +286,51 @@ mod tests {
     #[should_panic(expected = "own neighbor")]
     fn from_sets_validates_self_reference() {
         NeighborSets::from_sets(vec![vec![0]]);
+    }
+
+    #[test]
+    fn add_node_appends_without_disturbing_existing_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut ns = NeighborSets::random(10, 3, &mut rng);
+        let before: Vec<Vec<usize>> = (0..10).map(|i| ns.neighbors(i).to_vec()).collect();
+        let id = ns.add_node(&[0, 4, 7]);
+        assert_eq!(id, 10);
+        assert_eq!(ns.len(), 11);
+        assert_eq!(ns.neighbors(10), &[0, 4, 7]);
+        for (i, row) in before.iter().enumerate() {
+            assert_eq!(ns.neighbors(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn replace_in_row_swaps_in_place() {
+        let mut ns = NeighborSets::from_sets(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
+        assert!(ns.replace_in_row(0, 2, 1));
+        assert_eq!(ns.neighbors(0), &[1, 1]);
+        assert!(!ns.replace_in_row(1, 9, 5), "absent id must be a no-op");
+        assert_eq!(ns.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn set_row_same_length_in_place_and_longer_rebuilds() {
+        let mut ns = NeighborSets::from_sets(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
+        ns.set_row(1, &[2, 0]);
+        assert_eq!(ns.neighbors(1), &[2, 0]);
+        // Length change reflows the CSR but preserves every other row.
+        ns.set_row(1, &[2, 0, 0]);
+        assert_eq!(ns.neighbors(0), &[1, 2]);
+        assert_eq!(ns.neighbors(1), &[2, 0, 0]);
+        assert_eq!(ns.neighbors(2), &[0, 1]);
+        ns.set_row(1, &[2]);
+        assert_eq!(ns.neighbors(1), &[2]);
+        assert_eq!(ns.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn rows_containing_finds_all_referrers() {
+        let ns = NeighborSets::from_sets(vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
+        assert_eq!(ns.rows_containing(2), vec![0, 1]);
+        assert_eq!(ns.rows_containing(0), vec![1, 2]);
     }
 
     #[test]

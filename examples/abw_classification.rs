@@ -8,12 +8,13 @@
 
 use dmfsgd::core::provider::ProbedClassProvider;
 use dmfsgd::core::runner::SimnetRunner;
-use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::core::DmfsgdConfig;
 use dmfsgd::datasets::abw::hps3_like;
 use dmfsgd::eval::{collect_scores, roc::auc};
 use dmfsgd::simnet::NetConfig;
+use dmfsgd::{DmfsgdError, Session};
 
-fn main() {
+fn main() -> Result<(), DmfsgdError> {
     let n = 150;
     let dataset = hps3_like(n, 21);
     let tau = dataset.median();
@@ -27,8 +28,8 @@ fn main() {
     let mut provider = ProbedClassProvider::new(dataset.clone(), tau);
     let mut cfg = DmfsgdConfig::paper_defaults();
     cfg.seed = 4;
-    let mut system = DmfsgdSystem::new(n, cfg);
-    system.run(n * cfg.k * 25, &mut provider);
+    let mut system = Session::builder().config(cfg).nodes(n).tau(tau).build()?;
+    system.run(n * cfg.k * 25, &mut provider)?;
     let auc_direct = auc(&collect_scores(&classes, &system.predicted_scores()));
     println!("Algorithm 2 with live pathload probes:      AUC = {auc_direct:.3}");
 
@@ -42,9 +43,9 @@ fn main() {
             loss_probability: 0.2,
             ..NetConfig::default()
         },
-    )
-    .with_probe_interval(0.5);
-    runner.run_for(250.0); // simulated seconds
+    )?
+    .with_probe_interval(0.5)?;
+    runner.run_for(250.0)?; // simulated seconds
     let stats = runner.stats();
     let auc_simnet = auc(&collect_scores(&classes, &runner.predicted_scores()));
     println!(
@@ -59,4 +60,5 @@ fn main() {
         "\nok: one-bit ABW measurements suffice, and losing a fifth of all\n\
          datagrams only slows convergence — no retransmission logic needed"
     );
+    Ok(())
 }

@@ -7,15 +7,15 @@
 //! ```
 
 use dmfsgd::core::provider::{ClassLabelProvider, QuantityProvider};
-use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
 use dmfsgd::datasets::abw::hps3_like;
 use dmfsgd::eval::peersel::{evaluate_peer_selection, SelectionStrategy};
 use dmfsgd::linalg::Matrix;
 use dmfsgd::simnet::NeighborSets;
+use dmfsgd::{DmfsgdError, Session};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> Result<(), DmfsgdError> {
     // A streaming application wants peers with enough available
     // bandwidth. ABW ground truth, HP-S3-like (median 43.1 Mbps).
     let n = 200;
@@ -32,23 +32,24 @@ fn main() {
     // Class-based prediction (cheap probes: one UDP train per pair).
     let classes = dataset.classify(tau);
     let mut class_provider = ClassLabelProvider::new(classes);
-    let mut cfg = DmfsgdConfig::paper_defaults().with_k(k);
-    cfg.seed = 1;
-    let mut class_system = DmfsgdSystem::new(n, cfg);
-    class_system.run(budget, &mut class_provider);
+    let mut class_system = Session::builder().nodes(n).k(k).seed(1).tau(tau).build()?;
+    class_system.run(budget, &mut class_provider)?;
     let class_scores = class_system.predicted_scores();
 
     // Quantity-based prediction (expensive probes: full ABW values).
     let mut quantity_provider = QuantityProvider::new(dataset.clone(), tau);
-    let mut qcfg = DmfsgdConfig::paper_defaults().with_k(k).quantity(tau);
-    qcfg.seed = 2;
-    let mut quantity_system = DmfsgdSystem::new(n, qcfg);
-    quantity_system.run(budget, &mut quantity_provider);
+    let mut quantity_system = Session::builder()
+        .nodes(n)
+        .k(k)
+        .seed(2)
+        .quantity(tau)
+        .build()?;
+    quantity_system.run(budget, &mut quantity_provider)?;
     let predicted_quantities = Matrix::from_fn(n, n, |i, j| {
         if i == j {
             0.0
         } else {
-            quantity_system.predict(i, j)
+            quantity_system.predict(i, j).expect("all slots alive")
         }
     });
 
@@ -87,4 +88,5 @@ fn main() {
          at a fraction of the measurement cost; regression buys optimality, not\n\
          satisfaction."
     );
+    Ok(())
 }

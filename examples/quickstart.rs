@@ -5,12 +5,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dmfsgd::core::{provider::ClassLabelProvider, DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::core::provider::ClassLabelProvider;
 use dmfsgd::datasets::rtt::meridian_like;
 use dmfsgd::eval::roc::auc;
 use dmfsgd::eval::{collect_scores, ConfusionMatrix};
+use dmfsgd::{DmfsgdError, Session};
 
-fn main() {
+fn main() -> Result<(), DmfsgdError> {
     // 1. Ground truth: a 300-node RTT dataset with the Meridian
     //    median (56.4 ms). In a deployment this is the real network;
     //    here it is the calibrated synthetic substitute.
@@ -32,11 +33,19 @@ fn main() {
 
     // 3. Train DMFSGD: every node probes k=10 random neighbors,
     //    updating its rank-10 coordinates on each binary measurement.
-    let config = DmfsgdConfig::paper_defaults(); // r=10, η=λ=0.1, logistic
-    let budget = n * config.k * 25; // ≈ 25×k measurements per node
+    //    The builder validates every knob — no panics on bad input.
+    let k = 10;
+    let budget = n * k * 25; // ≈ 25×k measurements per node
     let mut provider = ClassLabelProvider::new(classes.clone());
-    let mut system = DmfsgdSystem::new(n, config);
-    system.run(budget, &mut provider);
+    let mut system = Session::builder()
+        .nodes(n)
+        .rank(10) // r=10, η=λ=0.1, logistic: the paper defaults
+        .eta(0.1)
+        .lambda(0.1)
+        .k(k)
+        .tau(tau)
+        .build()?;
+    system.run(budget, &mut provider)?;
     println!(
         "trained on {} measurements ({:.0} per node)",
         system.measurements_used(),
@@ -58,8 +67,9 @@ fn main() {
     println!(
         "\nok: class-based prediction from {}% of the pairwise measurements",
         {
-            let probed = (config.k as f64) / (n as f64 - 1.0) * 100.0;
+            let probed = (k as f64) / (n as f64 - 1.0) * 100.0;
             format!("{probed:.1}")
         }
     );
+    Ok(())
 }

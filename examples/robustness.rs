@@ -5,12 +5,13 @@
 //! cargo run --release --example robustness
 //! ```
 
-use dmfsgd::core::{provider::ClassLabelProvider, DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::core::provider::ClassLabelProvider;
 use dmfsgd::datasets::abw::hps3_like;
 use dmfsgd::eval::{collect_scores, roc::auc};
 use dmfsgd::simnet::errors::{
     calibrate_delta, calibrate_good_to_bad_fraction, inject, BandErrorKind, ErrorModel,
 };
+use dmfsgd::Session;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -23,10 +24,15 @@ fn main() {
 
     let train = |class: &dmfsgd::datasets::ClassMatrix| {
         let mut provider = ClassLabelProvider::new(class.clone());
-        let mut cfg = DmfsgdConfig::paper_defaults();
-        cfg.seed = 5;
-        let mut system = DmfsgdSystem::new(n, cfg);
-        system.run(n * cfg.k * 25, &mut provider);
+        let mut system = Session::builder()
+            .nodes(n)
+            .seed(5)
+            .build()
+            .expect("paper defaults are valid");
+        let k = system.config().k;
+        system
+            .run(n * k * 25, &mut provider)
+            .expect("provider covers the session");
         // Always evaluate against the *clean* labels: the question is
         // whether training survives measurement errors.
         auc(&collect_scores(&clean, &system.predicted_scores()))

@@ -27,30 +27,68 @@
 //! | [`agent`] | `dmf-agent` | real UDP deployment |
 //!
 //! A narrative walk-through (experiment end-to-end, choosing the
-//! `r`/`η`/`λ`/`k`/`τ` knobs, reading the outputs) lives in
-//! `docs/guide.md`; the paper-artifact-to-binary map is in the
-//! repository `README.md`.
+//! `r`/`η`/`λ`/`k`/`τ` knobs, churn and snapshot/restore, reading the
+//! outputs) lives in `docs/guide.md`; the paper-artifact-to-binary map
+//! is in the repository `README.md`.
 //!
 //! ## Quick start
 //!
+//! The primary entry point is the [`Session`] API: a long-lived,
+//! panic-free service population built with [`SessionBuilder`],
+//! advanced by a [`Driver`] front-end, queried incrementally, and
+//! persisted with [`Snapshot`]s. Every failure a caller can cause is
+//! a typed [`DmfsgdError`].
+//!
 //! ```
-//! use dmfsgd::core::{provider::ClassLabelProvider, DmfsgdConfig, DmfsgdSystem};
+//! use dmfsgd::core::provider::ClassLabelProvider;
 //! use dmfsgd::datasets::rtt::meridian_like;
 //! use dmfsgd::eval::{collect_scores, roc::auc};
+//! use dmfsgd::{DmfsgdError, Session, Snapshot};
 //!
 //! // A 60-node RTT dataset calibrated to the Meridian median (56.4 ms).
 //! let dataset = meridian_like(60, 7);
 //! let tau = dataset.median();            // paper default threshold
 //! let classes = dataset.classify(tau);   // ±1 class matrix
 //!
-//! // Train with the paper defaults (r=10, η=λ=0.1, logistic loss).
-//! let mut provider = ClassLabelProvider::new(classes.clone());
-//! let mut system = DmfsgdSystem::new(dataset.len(), DmfsgdConfig::paper_defaults());
-//! system.run(60 * 10 * 25, &mut provider); // ≈ 25×k measurements per node
+//! // Build a session with the paper defaults (r=10, η=λ=0.1,
+//! // logistic loss) — every knob validated, no panics.
+//! let mut session = Session::builder()
+//!     .nodes(dataset.len())
+//!     .rank(10)
+//!     .eta(0.1)
+//!     .lambda(0.1)
+//!     .k(10)
+//!     .seed(7)
+//!     .tau(tau)
+//!     .build()?;
 //!
-//! let auc = auc(&collect_scores(&classes, &system.predicted_scores()));
+//! // Train on ≈ 25×k measurements per node (matrix replay).
+//! let mut provider = ClassLabelProvider::new(classes.clone());
+//! session.run(60 * 10 * 25, &mut provider)?;
+//!
+//! // Incremental queries — no n² matrix materialized.
+//! let class = session.predict_class(0, 1)?;
+//! assert!(class == 1.0 || class == -1.0);
+//! let best_peers = session.rank_neighbors(0, 3)?;
+//! assert_eq!(best_peers.len(), 3);
+//!
+//! // Snapshot → restore round trips are bit-exact.
+//! let snapshot = session.snapshot();
+//! let restored = Session::restore(&Snapshot::from_json(&snapshot.to_json())?)?;
+//! assert_eq!(restored.predicted_scores(), session.predicted_scores());
+//!
+//! // Offline evaluation over the full matrix.
+//! let auc = auc(&collect_scores(&classes, &session.predicted_scores()));
 //! assert!(auc > 0.85);
+//! # Ok::<(), DmfsgdError>(())
 //! ```
+//!
+//! Nodes can [`join`](Session::join) and [`leave`](Session::leave) a
+//! running session (neighbor sets repair themselves), and the same
+//! session can be advanced by matrix replay
+//! ([`core::session::OracleDriver`]), the discrete-event simulator
+//! ([`core::runner::SimnetDriver`]) or real UDP sockets
+//! ([`agent::UdpDriver`]) — all through the one [`Driver`] trait.
 
 pub use dmf_agent as agent;
 pub use dmf_baselines as baselines;
@@ -60,3 +98,8 @@ pub use dmf_eval as eval;
 pub use dmf_linalg as linalg;
 pub use dmf_proto as proto;
 pub use dmf_simnet as simnet;
+
+pub use dmf_core::{
+    ConfigError, DmfsgdError, Driver, MembershipError, NodeId, Session, SessionBuilder, Snapshot,
+    SnapshotError,
+};

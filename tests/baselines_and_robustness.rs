@@ -4,7 +4,7 @@
 use dmfsgd::baselines::centralized::batch_gd_class;
 use dmfsgd::baselines::vivaldi::{Vivaldi, VivaldiConfig};
 use dmfsgd::core::provider::ClassLabelProvider;
-use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem, Loss};
+use dmfsgd::core::{DmfsgdConfig, Loss, SessionBuilder};
 use dmfsgd::datasets::rtt::meridian_like;
 use dmfsgd::eval::{collect_scores, roc::auc};
 use dmfsgd::simnet::errors::{calibrate_delta, inject, BandErrorKind, ErrorModel};
@@ -24,8 +24,13 @@ fn decentralized_approaches_centralized_optimum() {
     let mut provider = ClassLabelProvider::new(classes.clone());
     let mut cfg = DmfsgdConfig::paper_defaults();
     cfg.seed = 1;
-    let mut system = DmfsgdSystem::new(80, cfg);
-    system.run(80 * 10 * 30, &mut provider);
+    let mut system = SessionBuilder::from_config(cfg)
+        .nodes(80)
+        .build()
+        .expect("valid config");
+    system
+        .run(80 * 10 * 30, &mut provider)
+        .expect("provider covers the session");
     let auc_dec = auc(&collect_scores(&classes, &system.predicted_scores()));
 
     assert!(auc_central > 0.9, "centralized AUC {auc_central}");
@@ -45,8 +50,13 @@ fn near_tau_errors_hurt_less_than_random_flips() {
         let mut provider = ClassLabelProvider::new(class.clone());
         let mut cfg = DmfsgdConfig::paper_defaults();
         cfg.seed = seed;
-        let mut system = DmfsgdSystem::new(80, cfg);
-        system.run(80 * 10 * 25, &mut provider);
+        let mut system = SessionBuilder::from_config(cfg)
+            .nodes(80)
+            .build()
+            .expect("valid config");
+        system
+            .run(80 * 10 * 25, &mut provider)
+            .expect("provider covers the session");
         auc(&collect_scores(&clean, &system.predicted_scores()))
     };
 
@@ -114,8 +124,13 @@ fn vivaldi_baseline_learns_but_classification_needs_no_quantities() {
     let mut provider = ClassLabelProvider::new(classes.clone());
     let mut cfg = DmfsgdConfig::paper_defaults();
     cfg.seed = 12;
-    let mut system = DmfsgdSystem::new(60, cfg);
-    system.run(60 * 10 * 25, &mut provider);
+    let mut system = SessionBuilder::from_config(cfg)
+        .nodes(60)
+        .build()
+        .expect("valid config");
+    system
+        .run(60 * 10 * 25, &mut provider)
+        .expect("provider covers the session");
     let a = auc(&collect_scores(&classes, &system.predicted_scores()));
     assert!(a > 0.85, "class-based AUC {a}");
 }
@@ -129,8 +144,13 @@ fn hinge_and_logistic_both_work_logistic_not_worse() {
         let mut cfg = DmfsgdConfig::paper_defaults();
         cfg.sgd.loss = loss;
         cfg.seed = seed;
-        let mut system = DmfsgdSystem::new(70, cfg);
-        system.run(70 * 10 * 25, &mut provider);
+        let mut system = SessionBuilder::from_config(cfg)
+            .nodes(70)
+            .build()
+            .expect("valid config");
+        system
+            .run(70 * 10 * 25, &mut provider)
+            .expect("provider covers the session");
         auc(&collect_scores(&classes, &system.predicted_scores()))
     };
     let logistic = run(Loss::Logistic, 1);

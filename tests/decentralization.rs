@@ -3,8 +3,8 @@
 //! must all learn the same structure.
 
 use dmfsgd::core::provider::ClassLabelProvider;
-use dmfsgd::core::runner::SimnetRunner;
-use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::core::runner::{sign_agreement, SimnetRunner};
+use dmfsgd::core::{DmfsgdConfig, SessionBuilder};
 use dmfsgd::datasets::rtt::meridian_like;
 use dmfsgd::eval::{collect_scores, roc::auc};
 use dmfsgd::simnet::NetConfig;
@@ -18,19 +18,34 @@ fn oracle_and_simnet_training_agree() {
     let mut provider = ClassLabelProvider::new(classes.clone());
     let mut cfg = DmfsgdConfig::paper_defaults();
     cfg.seed = 1;
-    let mut oracle_system = DmfsgdSystem::new(50, cfg);
-    oracle_system.run(50 * 10 * 30, &mut provider);
+    let mut oracle_system = SessionBuilder::from_config(cfg)
+        .nodes(50)
+        .build()
+        .expect("valid config");
+    oracle_system
+        .run(50 * 10 * 30, &mut provider)
+        .expect("provider covers the session");
     let auc_oracle = auc(&collect_scores(&classes, &oracle_system.predicted_scores()));
 
-    let mut runner =
-        SimnetRunner::new(dataset, tau, cfg, NetConfig::default()).with_probe_interval(0.5);
-    runner.run_for(200.0);
+    let mut runner = SimnetRunner::new(dataset, tau, cfg, NetConfig::default())
+        .expect("valid config")
+        .with_probe_interval(0.5)
+        .expect("positive interval");
+    runner.run_for(200.0).expect("positive duration");
     let auc_simnet = auc(&collect_scores(&classes, &runner.predicted_scores()));
 
     assert!(auc_oracle > 0.85, "oracle AUC {auc_oracle}");
     assert!(
         auc_simnet > auc_oracle - 0.08,
         "simnet AUC {auc_simnet} lags oracle {auc_oracle}"
+    );
+    // Beyond matching AUC, the two front-ends must agree pair by pair
+    // on most class predictions — they learned the same structure,
+    // not merely structures of equal quality.
+    let agreement = sign_agreement(&oracle_system, &runner);
+    assert!(
+        agreement > 0.75,
+        "oracle/simnet per-pair sign agreement {agreement}"
     );
 }
 
@@ -54,8 +69,10 @@ fn message_loss_degrades_gracefully() {
                 ..NetConfig::default()
             },
         )
-        .with_probe_interval(0.5);
-        runner.run_for(seconds);
+        .expect("valid config")
+        .with_probe_interval(0.5)
+        .expect("positive interval");
+        runner.run_for(seconds).expect("positive duration");
         (
             auc(&collect_scores(&classes, &runner.predicted_scores())),
             runner.stats(),

@@ -2,7 +2,7 @@
 //! evaluated prediction, exercising the paper's three dataset shapes.
 
 use dmfsgd::core::provider::{ClassLabelProvider, ProbedClassProvider};
-use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::core::{DmfsgdConfig, SessionBuilder};
 use dmfsgd::datasets::abw::hps3_like;
 use dmfsgd::datasets::dynamic::{harvard_like, HarvardConfig};
 use dmfsgd::datasets::rtt::meridian_like;
@@ -14,8 +14,13 @@ fn train_and_auc(dataset: &dmfsgd::datasets::Dataset, k: usize, seed: u64) -> f6
     let mut provider = ClassLabelProvider::new(classes.clone());
     let mut cfg = DmfsgdConfig::paper_defaults().with_k(k);
     cfg.seed = seed;
-    let mut system = DmfsgdSystem::new(dataset.len(), cfg);
-    system.run(dataset.len() * k * 25, &mut provider);
+    let mut system = SessionBuilder::from_config(cfg)
+        .nodes(dataset.len())
+        .build()
+        .expect("valid config");
+    system
+        .run(dataset.len() * k * 25, &mut provider)
+        .expect("provider covers the session");
     auc(&collect_scores(&classes, &system.predicted_scores()))
 }
 
@@ -40,8 +45,13 @@ fn harvard_like_trace_replay_pipeline() {
     let classes = ground_truth.classify(tau);
     let mut cfg = DmfsgdConfig::paper_defaults();
     cfg.seed = 3;
-    let mut system = DmfsgdSystem::new(80, cfg);
-    system.run_trace(&trace, tau);
+    let mut system = SessionBuilder::from_config(cfg)
+        .nodes(80)
+        .build()
+        .expect("valid config");
+    system
+        .run_trace(&trace, tau)
+        .expect("trace matches the session");
     let a = auc(&collect_scores(&classes, &system.predicted_scores()));
     assert!(a > 0.85, "Harvard-like trace AUC {a}");
 }
@@ -57,15 +67,25 @@ fn probed_measurements_match_label_training_closely() {
     let mut exact_provider = ClassLabelProvider::new(classes.clone());
     let mut cfg = DmfsgdConfig::paper_defaults();
     cfg.seed = 4;
-    let mut exact = DmfsgdSystem::new(90, cfg);
-    exact.run(90 * 10 * 25, &mut exact_provider);
+    let mut exact = SessionBuilder::from_config(cfg)
+        .nodes(90)
+        .build()
+        .expect("valid config");
+    exact
+        .run(90 * 10 * 25, &mut exact_provider)
+        .expect("provider covers the session");
     let auc_exact = auc(&collect_scores(&classes, &exact.predicted_scores()));
 
     let mut probe_provider = ProbedClassProvider::new(dataset.clone(), tau);
     let mut cfg2 = DmfsgdConfig::paper_defaults();
     cfg2.seed = 5;
-    let mut probed = DmfsgdSystem::new(90, cfg2);
-    probed.run(90 * 10 * 25, &mut probe_provider);
+    let mut probed = SessionBuilder::from_config(cfg2)
+        .nodes(90)
+        .build()
+        .expect("valid config");
+    probed
+        .run(90 * 10 * 25, &mut probe_provider)
+        .expect("provider covers the session");
     let auc_probed = auc(&collect_scores(&classes, &probed.predicted_scores()));
 
     assert!(
@@ -86,8 +106,13 @@ fn accuracy_table_shape_on_all_three_datasets() {
         let mut provider = ClassLabelProvider::new(classes.clone());
         let mut cfg = DmfsgdConfig::paper_defaults().with_k(k);
         cfg.seed = seed;
-        let mut system = DmfsgdSystem::new(dataset.len(), cfg);
-        system.run(dataset.len() * k * 25, &mut provider);
+        let mut system = SessionBuilder::from_config(cfg)
+            .nodes(dataset.len())
+            .build()
+            .expect("valid config");
+        system
+            .run(dataset.len() * k * 25, &mut provider)
+            .expect("provider covers the session");
         let cm = ConfusionMatrix::at_sign(&collect_scores(&classes, &system.predicted_scores()));
         assert!(
             cm.accuracy() > 0.8,
@@ -120,8 +145,13 @@ fn different_tau_portions_stay_usable() {
         let mut provider = ClassLabelProvider::new(classes.clone());
         let mut cfg = DmfsgdConfig::paper_defaults();
         cfg.seed = 9;
-        let mut system = DmfsgdSystem::new(90, cfg);
-        system.run(90 * 10 * 25, &mut provider);
+        let mut system = SessionBuilder::from_config(cfg)
+            .nodes(90)
+            .build()
+            .expect("valid config");
+        system
+            .run(90 * 10 * 25, &mut provider)
+            .expect("provider covers the session");
         let a = auc(&collect_scores(&classes, &system.predicted_scores()));
         assert!(a > 0.8, "portion {portion}: AUC {a}");
     }

@@ -1,25 +1,31 @@
 //! Pins the `dmfsgd::` facade surface: every re-exported workspace
-//! crate must stay reachable through the facade, and the quick-start
+//! crate must stay reachable through the facade, the root-level
+//! session API (`Session`, `SessionBuilder`, `Snapshot`,
+//! `DmfsgdError`, `Driver`) must stay exported, and the quick-start
 //! training path must keep its accuracy. A rename or dropped
 //! re-export in `src/lib.rs` fails here before any downstream user
 //! notices.
 
-use dmfsgd::agent::MeasurementOracle;
+use dmfsgd::agent::{MeasurementOracle, UdpDriver};
 use dmfsgd::baselines::vivaldi::VivaldiConfig;
 use dmfsgd::baselines::Vivaldi;
 use dmfsgd::core::provider::ClassLabelProvider;
-use dmfsgd::core::{DmfsgdConfig, DmfsgdSystem};
+use dmfsgd::core::runner::SimnetDriver;
+use dmfsgd::core::session::OracleDriver;
 use dmfsgd::datasets::rtt::meridian_like;
 use dmfsgd::datasets::Metric;
 use dmfsgd::eval::{collect_scores, roc::auc};
 use dmfsgd::linalg::{Mask, Matrix};
 use dmfsgd::proto::{decode, encode, Message};
 use dmfsgd::simnet::{EventQueue, NeighborSets};
+use dmfsgd::{
+    ConfigError, DmfsgdError, Driver, MembershipError, NodeId, Session, SessionBuilder, Snapshot,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// The quick-start path from the crate docs, via facade paths only:
-/// generate a dataset, train with paper defaults, evaluate AUC.
+/// generate a dataset, build a session, train, evaluate AUC.
 #[test]
 fn facade_quick_start_trains_above_auc_080() {
     let dataset = meridian_like(60, 7);
@@ -27,11 +33,70 @@ fn facade_quick_start_trains_above_auc_080() {
     let classes = dataset.classify(tau);
 
     let mut provider = ClassLabelProvider::new(classes.clone());
-    let mut system = DmfsgdSystem::new(dataset.len(), DmfsgdConfig::paper_defaults());
-    system.run(60 * 10 * 25, &mut provider);
+    let mut session = Session::builder()
+        .nodes(dataset.len())
+        .seed(7)
+        .tau(tau)
+        .build()
+        .expect("paper defaults are valid");
+    session
+        .run(60 * 10 * 25, &mut provider)
+        .expect("provider covers the session");
 
-    let a = auc(&collect_scores(&classes, &system.predicted_scores()));
+    let a = auc(&collect_scores(&classes, &session.predicted_scores()));
     assert!(a > 0.8, "facade quick-start AUC {a} must exceed 0.8");
+}
+
+/// The root-level session surface: builder, typed errors, membership,
+/// snapshots, queries and the `Driver` trait, all via facade paths.
+#[test]
+fn session_surface_is_pinned_at_the_facade_root() {
+    // Builder + typed ConfigError.
+    let err: ConfigError = SessionBuilder::new().nodes(3).k(10).build().unwrap_err();
+    assert!(matches!(err, ConfigError::TooFewNodes { n: 3, k: 10 }));
+    let mut session = Session::builder()
+        .nodes(24)
+        .rank(8)
+        .eta(0.1)
+        .lambda(0.1)
+        .k(6)
+        .seed(1)
+        .build()
+        .expect("valid");
+
+    // Membership + typed MembershipError wrapped in DmfsgdError.
+    let departed: NodeId = 5;
+    session.leave(departed).expect("first leave");
+    let err: DmfsgdError = session.leave(departed).unwrap_err();
+    assert!(matches!(
+        err,
+        DmfsgdError::Membership(MembershipError::Departed { id: 5 })
+    ));
+    let rejoined = session.join().expect("rejoin");
+    assert_eq!(rejoined, departed);
+
+    // Incremental queries.
+    let score = session.raw_score(0, 1).expect("alive pair");
+    assert_eq!(
+        session.predict_class(0, 1).expect("alive pair"),
+        if score >= 0.0 { 1.0 } else { -1.0 }
+    );
+    assert_eq!(session.rank_neighbors(0, 4).expect("alive").len(), 4);
+
+    // Snapshot round trip through JSON.
+    let snapshot: Snapshot = session.snapshot();
+    let restored =
+        Session::restore(&Snapshot::from_json(&snapshot.to_json()).expect("parse")).expect("valid");
+    assert_eq!(restored.predicted_scores(), session.predicted_scores());
+
+    // The Driver trait unifies the three front-ends; drive via the
+    // oracle one through a `dyn` reference to pin object safety.
+    let d = meridian_like(24, 1);
+    let mut driver =
+        OracleDriver::new(ClassLabelProvider::new(d.classify(d.median())), 240).expect("ticks");
+    let dyn_driver: &mut dyn Driver = &mut driver;
+    let applied = session.drive(dyn_driver, 2).expect("drive");
+    assert!(applied > 0);
 }
 
 /// Touches one load-bearing item in each re-exported crate so the
@@ -58,9 +123,26 @@ fn every_reexported_crate_is_reachable() {
     queue.schedule_at(1.0, 42);
     assert_eq!(queue.pop(), Some((1.0, 42)));
 
-    // core
-    let config = DmfsgdConfig::paper_defaults();
-    assert_eq!(config.rank, 10);
+    // core: the session front-ends stay nameable.
+    let session = Session::builder()
+        .nodes(16)
+        .k(4)
+        .tau(dataset.median())
+        .build()
+        .expect("valid");
+    assert_eq!(session.config().rank, 10);
+    let _simnet_front_end: SimnetDriver = SimnetDriver::new(
+        &session,
+        dataset.clone(),
+        dmfsgd::simnet::NetConfig::default(),
+    )
+    .expect("valid driver");
+    let _udp_front_end: UdpDriver = UdpDriver::new(
+        &session,
+        dataset.clone(),
+        dmfsgd::agent::ClusterConfig::default(),
+    )
+    .expect("valid driver");
 
     // eval
     let classes = dataset.classify(dataset.median());

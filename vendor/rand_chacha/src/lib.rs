@@ -79,6 +79,47 @@ impl ChaCha8Rng {
     pub fn get_word_pos(&self) -> u64 {
         self.counter
     }
+
+    /// Dumps the complete generator state as `(key, counter, index)`.
+    ///
+    /// `counter` is the *next* block counter (the one the internal
+    /// refill would consume next had the current block been exhausted)
+    /// and `index` is the next unconsumed word of the current block
+    /// (`16` when the block is exhausted). Together with the key this
+    /// pins the exact position in the keystream:
+    /// [`ChaCha8Rng::from_state`] rebuilds a generator whose future
+    /// output is bit-identical.
+    pub fn dump_state(&self) -> ([u32; 8], u64, usize) {
+        (self.key, self.counter, self.index)
+    }
+
+    /// Rebuilds a generator from a [`dump_state`] triple. The current
+    /// keystream block is recomputed from the key and counter, so the
+    /// restored generator continues bit-identically.
+    ///
+    /// Returns `None` when `index > 16` (no such state exists).
+    ///
+    /// [`dump_state`]: ChaCha8Rng::dump_state
+    pub fn from_state(key: [u32; 8], counter: u64, index: usize) -> Option<Self> {
+        if index > 16 {
+            return None;
+        }
+        let mut rng = Self {
+            key,
+            counter,
+            block: [0; 16],
+            index: 16,
+        };
+        if index < 16 {
+            // The live block belongs to the *previous* counter value
+            // (refill consumes the counter then increments it).
+            rng.counter = counter.wrapping_sub(1);
+            rng.refill();
+            debug_assert_eq!(rng.counter, counter);
+            rng.index = index;
+        }
+        Some(rng)
+    }
 }
 
 impl SeedableRng for ChaCha8Rng {
@@ -172,6 +213,32 @@ mod tests {
         }
         let mut c = ChaCha8Rng::seed_from_u64(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact_at_every_phase() {
+        // Dump/restore must be exact whether the block is fresh,
+        // mid-consumption, or exhausted.
+        for consumed in [0usize, 1, 7, 15, 16, 17, 31, 32, 100] {
+            let mut original = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..consumed {
+                original.next_u32();
+            }
+            let (key, counter, index) = original.dump_state();
+            let mut restored = ChaCha8Rng::from_state(key, counter, index).expect("valid state");
+            for step in 0..64 {
+                assert_eq!(
+                    original.next_u64(),
+                    restored.next_u64(),
+                    "divergence at step {step} after {consumed} consumed words"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_impossible_index() {
+        assert!(ChaCha8Rng::from_state([0; 8], 0, 17).is_none());
     }
 
     #[test]
