@@ -10,13 +10,7 @@
 
 use dmf_bench::experiments::perf;
 use dmf_bench::report;
-use dmf_bench::Scale;
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use dmf_bench::{flag_value, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,7 +1,10 @@
-//! Runs every table/figure experiment in sequence and records all
-//! JSON outputs (the data behind EXPERIMENTS.md).
+//! Runs every table/figure experiment in sequence — plus the
+//! non-stationary scenario quality suite — and records all JSON
+//! outputs (the data behind EXPERIMENTS.md).
 
-use dmf_bench::experiments::{fig1, fig3, fig4, fig5, fig6, fig7, table1, table2, table3};
+use dmf_bench::experiments::{
+    fig1, fig3, fig4, fig5, fig6, fig7, scenario, table1, table2, table3,
+};
 use dmf_bench::report;
 use dmf_bench::Scale;
 use std::time::Instant;
@@ -48,9 +51,22 @@ fn main() {
     assert!(table3.monotone(), "table3 shape");
     let fig7 = step!("fig7_peer_selection", fig7::run(&scale, seed));
     assert!(fig7.shape_holds(), "fig7 shape");
+    // Beyond the paper: the non-stationary scenario registry, with its
+    // per-scenario AUC floors enforced (the same gate CI runs).
+    let quality = step!("scenario_quality", scenario::run(&scale, "run_all"));
+    assert!(
+        quality.all_pass,
+        "scenario quality floors broken: {:?}",
+        quality
+            .scenarios
+            .iter()
+            .filter(|s| !s.pass)
+            .map(|s| (&s.name, s.final_auc, s.auc_floor))
+            .collect::<Vec<_>>()
+    );
 
     println!(
-        "\nall experiments done in {:.1}s — every paper-shape assertion passed",
+        "\nall experiments done in {:.1}s — every paper-shape and quality assertion passed",
         t.elapsed().as_secs_f64()
     );
 }

@@ -96,6 +96,15 @@ impl Scale {
     }
 }
 
+/// The value following `flag` in argv (`--out FILE` style), if any —
+/// the argument convention shared by the suite binaries
+/// (`perf_suite`, `scenario_suite`).
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

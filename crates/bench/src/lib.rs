@@ -30,6 +30,6 @@ pub mod experiments;
 pub mod parallel;
 pub mod report;
 
-pub use experiments::scale::Scale;
+pub use experiments::scale::{flag_value, Scale};
 pub use experiments::trio::{DatasetBundle, Trio};
 pub use parallel::{parallel_map, parallel_map_with, sweep_threads};

@@ -1,0 +1,93 @@
+//! Integration tests for the tracked scenario quality suite: the
+//! determinism contract behind the committed `QUALITY.json`, the CI
+//! floor gate at quick scale, and the partition-recovery regression.
+
+use dmf_bench::experiments::scenario::{self, QUALITY_SCHEMA_VERSION};
+use dmf_bench::Scale;
+
+#[test]
+fn quick_suite_clears_every_floor() {
+    // The exact check the CI quality-gate job enforces: if this fails
+    // locally, CI is red.
+    let report = scenario::run(&Scale::quick(), "test");
+    assert_eq!(report.schema_version, QUALITY_SCHEMA_VERSION);
+    assert_eq!(report.scale, "quick");
+    let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "baseline-stationary",
+            "drift",
+            "flash-congestion",
+            "routing-change",
+            "partition-loss",
+            "churn-under-drift",
+        ]
+    );
+    for s in &report.scenarios {
+        assert!(
+            s.pass && s.final_auc >= s.auc_floor,
+            "{}: final AUC {} below floor {}",
+            s.name,
+            s.final_auc,
+            s.auc_floor
+        );
+        assert!(!s.windows.is_empty());
+        assert!(s.min_auc <= s.final_auc + 1e-12);
+    }
+    assert!(report.all_pass);
+}
+
+#[test]
+fn suite_is_byte_deterministic_per_seed() {
+    // The committed QUALITY.json is meaningful only if reruns
+    // reproduce it bit for bit: every RNG stream (topology, condition
+    // realization, probe scheduling, loss draws, churn repair) derives
+    // from the registry seeds.
+    let a = scenario::run(&Scale::quick(), "det");
+    let b = scenario::run(&Scale::quick(), "det");
+    let ja = serde_json::to_string_pretty(&a).expect("serialize");
+    let jb = serde_json::to_string_pretty(&b).expect("serialize");
+    assert_eq!(ja, jb, "two runs of the same registry diverged");
+}
+
+#[test]
+fn partition_scenario_dips_then_recrosses_08() {
+    // Regression pin for the partition-loss scenario: the isolated,
+    // lossy island misses a topology re-embedding, so windowed AUC
+    // must dip below 0.8 while partitioned — the signal a global
+    // end-of-run number cannot show — and re-cross 0.8 after the heal.
+    let cases = scenario::registry(&Scale::quick());
+    let case = cases
+        .iter()
+        .find(|c| c.spec.name == "partition-loss")
+        .expect("registry has the partition scenario");
+    let q = scenario::run_case(case);
+
+    let dip = q
+        .windows
+        .iter()
+        .find(|w| w.auc < 0.8)
+        .expect("partition must dip windowed AUC below 0.8");
+    let recross = q
+        .windows
+        .iter()
+        .find(|w| w.index > dip.index && w.auc >= 0.8)
+        .expect("AUC must re-cross 0.8 after the partition heals");
+    assert!(
+        recross.t_start_s >= 449.0,
+        "recovery at {}s, before the 450s heal",
+        recross.t_start_s
+    );
+    assert!(
+        q.final_auc >= 0.8,
+        "final-window AUC {} did not recover past 0.8",
+        q.final_auc
+    );
+    // The dip happens during the partition epoch, not at cold start.
+    assert!(
+        dip.t_start_s >= 180.0,
+        "dip at {}s predates the partition",
+        dip.t_start_s
+    );
+}

@@ -13,6 +13,7 @@
 //! for the legacy `#[should_panic]` tests.
 
 use crate::loss::Loss;
+use dmf_datasets::Metric;
 use std::fmt;
 
 /// A node identifier handed out by [`crate::session::Session::join`]
@@ -139,6 +140,34 @@ pub enum ConfigError {
     },
     /// Zero ticks per driver round.
     ZeroTicks,
+    /// Message-loss probability outside `[0, 1]` (scenario impairment
+    /// hooks).
+    LossProbability {
+        /// The rejected probability.
+        probability: f64,
+    },
+    /// Non-positive straggler delay factor (scenario impairment
+    /// hooks).
+    DelayFactor {
+        /// The rejected multiplier.
+        factor: f64,
+    },
+    /// A partition island covering the whole population: the cut
+    /// would be empty, so nothing would actually be partitioned.
+    FullPartition {
+        /// Population size (= island size).
+        nodes: usize,
+    },
+    /// A ground-truth update requires a specific metric on both the
+    /// driver and the offered dataset (delay re-embedding is
+    /// RTT-only); `got` is whichever side violated it.
+    MetricMismatch {
+        /// The metric the operation requires.
+        expected: Metric,
+        /// The offending metric (the driver's when it is not
+        /// RTT-backed, otherwise the offered dataset's).
+        got: Metric,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -176,6 +205,25 @@ impl fmt::Display for ConfigError {
                 write!(f, "duration must be positive (got {seconds})")
             }
             ConfigError::ZeroTicks => write!(f, "ticks per round must be at least 1"),
+            ConfigError::LossProbability { probability } => {
+                write!(f, "loss probability {probability} out of [0, 1]")
+            }
+            ConfigError::DelayFactor { factor } => {
+                write!(f, "delay factor must be positive (got {factor})")
+            }
+            ConfigError::FullPartition { nodes } => {
+                write!(
+                    f,
+                    "partition island must be a strict subset of the population \
+                     (all {nodes} nodes named)"
+                )
+            }
+            ConfigError::MetricMismatch { expected, got } => {
+                write!(
+                    f,
+                    "ground-truth update requires metric {expected:?}, got {got:?}"
+                )
+            }
         }
     }
 }

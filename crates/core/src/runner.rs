@@ -237,6 +237,112 @@ impl SimnetDriver {
         self.net.now()
     }
 
+    // ---- scenario impairment hooks ----------------------------------
+    //
+    // Non-stationary scenarios mutate the transport mid-run: loss
+    // epochs, partitions, stragglers, and ground-truth re-embeddings
+    // (drift, congestion). Each hook validates here and forwards to
+    // the simnet layer, so the scenario harness never trips a panic.
+
+    /// Replaces the message-loss probability (scenario loss epochs).
+    pub fn set_loss_probability(&mut self, probability: f64) -> Result<(), DmfsgdError> {
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(ConfigError::LossProbability { probability }.into());
+        }
+        self.net.set_loss_probability(probability);
+        Ok(())
+    }
+
+    /// Partitions the network: `island` nodes exchange no messages
+    /// with the rest until [`clear_partition`](Self::clear_partition)
+    /// (island-internal traffic still flows; ground truth is
+    /// unchanged). Replaces any previous partition. An island holding
+    /// the whole population is rejected — the cut would be empty,
+    /// silently inverting the caller's intent.
+    pub fn set_partition(&mut self, island: &[usize]) -> Result<(), DmfsgdError> {
+        let n = self.net.len();
+        if let Some(&bad) = island.iter().find(|&&i| i >= n) {
+            return Err(MembershipError::UnknownNode { id: bad, slots: n }.into());
+        }
+        let mut member = vec![false; n];
+        for &i in island {
+            member[i] = true;
+        }
+        if member.iter().all(|&m| m) {
+            return Err(ConfigError::FullPartition { nodes: n }.into());
+        }
+        self.net.set_partition(island);
+        Ok(())
+    }
+
+    /// Partitions the network into arbitrary connectivity classes
+    /// (one entry per node; messages pass only between equal
+    /// classes), so several islands can be mutually cut at once — the
+    /// shape `dmf_datasets::scenario::Impairments::partition_classes`
+    /// produces. An empty slice heals everything.
+    pub fn set_partition_classes(&mut self, classes: &[u32]) -> Result<(), DmfsgdError> {
+        let n = self.net.len();
+        if !classes.is_empty() && classes.len() != n {
+            return Err(MembershipError::ProviderMismatch {
+                provider: classes.len(),
+                session: n,
+            }
+            .into());
+        }
+        self.net.set_partition_classes(classes);
+        Ok(())
+    }
+
+    /// Heals any partition.
+    pub fn clear_partition(&mut self) {
+        self.net.clear_partition();
+    }
+
+    /// Multiplies every message leg touching `node` by `factor`
+    /// (straggler injection; `1.0` restores the node).
+    pub fn set_delay_factor(&mut self, node: usize, factor: f64) -> Result<(), DmfsgdError> {
+        let n = self.net.len();
+        if node >= n {
+            return Err(MembershipError::UnknownNode { id: node, slots: n }.into());
+        }
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(ConfigError::DelayFactor { factor }.into());
+        }
+        self.net.set_delay_factor(node, factor);
+        Ok(())
+    }
+
+    /// Re-embeds the network on a new RTT ground truth (drift or
+    /// congestion stepped the real delays): the delay table and the
+    /// driver's dataset are replaced, so every message sent from now
+    /// on — and therefore every measured RTT — reflects the new truth.
+    /// Messages already in flight keep the delay they departed with.
+    pub fn update_rtt_ground_truth(&mut self, dataset: Dataset) -> Result<(), DmfsgdError> {
+        // Re-embedding needs an RTT-derived delay table on both sides:
+        // an ABW driver has none, and a non-RTT truth defines none.
+        // The error names whichever side is not RTT (the driver first).
+        let offender = [self.dataset.metric, dataset.metric]
+            .into_iter()
+            .find(|&m| m != Metric::Rtt);
+        if let Some(got) = offender {
+            return Err(ConfigError::MetricMismatch {
+                expected: Metric::Rtt,
+                got,
+            }
+            .into());
+        }
+        if dataset.len() != self.net.len() {
+            return Err(MembershipError::ProviderMismatch {
+                provider: dataset.len(),
+                session: self.net.len(),
+            }
+            .into());
+        }
+        self.net.set_one_way_delays_from_rtt(&dataset);
+        self.dataset = dataset;
+        Ok(())
+    }
+
     /// Runs the protocol until simulated time `deadline_s`, starting
     /// all probe timers at jittered offsets on the first call. Returns
     /// the measurements completed during this call.
@@ -984,6 +1090,171 @@ mod tests {
         assert!(
             second_half < mid * 2,
             "resumed run probes too fast: {mid} then {second_half} — timer chains stacked?"
+        );
+    }
+
+    #[test]
+    fn scenario_hooks_validate_with_typed_errors() {
+        let d = meridian_like(20, 12);
+        let tau = d.median();
+        let mut session = Session::builder()
+            .nodes(20)
+            .k(6)
+            .seed(12)
+            .tau(tau)
+            .build()
+            .expect("valid");
+        let mut driver =
+            SimnetDriver::new(&session, d.clone(), NetConfig::default()).expect("valid");
+        assert!(matches!(
+            driver.set_loss_probability(1.5).unwrap_err(),
+            DmfsgdError::Config(ConfigError::LossProbability { .. })
+        ));
+        assert!(matches!(
+            driver.set_partition(&[3, 99]).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { id: 99, slots: 20 })
+        ));
+        let everyone: Vec<usize> = (0..20).collect();
+        assert!(matches!(
+            driver.set_partition(&everyone).unwrap_err(),
+            DmfsgdError::Config(ConfigError::FullPartition { nodes: 20 })
+        ));
+        assert!(matches!(
+            driver.set_partition_classes(&[1, 2, 3]).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::ProviderMismatch {
+                provider: 3,
+                session: 20
+            })
+        ));
+        assert!(matches!(
+            driver.set_delay_factor(0, 0.0).unwrap_err(),
+            DmfsgdError::Config(ConfigError::DelayFactor { .. })
+        ));
+        assert!(matches!(
+            driver.set_delay_factor(99, 2.0).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            driver
+                .update_rtt_ground_truth(meridian_like(10, 1))
+                .unwrap_err(),
+            DmfsgdError::Membership(MembershipError::ProviderMismatch {
+                provider: 10,
+                session: 20
+            })
+        ));
+        assert!(matches!(
+            driver
+                .update_rtt_ground_truth(hps3_like(20, 1))
+                .unwrap_err(),
+            DmfsgdError::Config(ConfigError::MetricMismatch { .. })
+        ));
+        let mut abw_session = Session::builder()
+            .nodes(20)
+            .k(6)
+            .seed(12)
+            .tau(hps3_like(20, 2).median())
+            .build()
+            .expect("valid");
+        let mut abw_driver =
+            SimnetDriver::new(&abw_session, hps3_like(20, 2), NetConfig::default()).expect("valid");
+        assert!(matches!(
+            abw_driver
+                .update_rtt_ground_truth(meridian_like(20, 1))
+                .unwrap_err(),
+            DmfsgdError::Config(ConfigError::MetricMismatch { .. })
+        ));
+        // The happy paths still drive the protocol.
+        driver.set_loss_probability(0.1).expect("valid p");
+        driver.set_partition(&[0, 1]).expect("valid island");
+        driver.clear_partition();
+        driver.set_delay_factor(0, 2.0).expect("valid factor");
+        driver.update_rtt_ground_truth(d).expect("same truth");
+        driver.run_until(&mut session, 10.0).expect("runs");
+        abw_driver.run_until(&mut abw_session, 10.0).expect("runs");
+    }
+
+    #[test]
+    fn ground_truth_re_embedding_is_learned() {
+        // Train to convergence, step the ground truth (a congestion
+        // that flips many classes at the fixed τ), keep training: the
+        // predictor must track the *new* truth.
+        let d = meridian_like(30, 13);
+        let tau = d.median();
+        let mut session = Session::builder()
+            .nodes(30)
+            .k(8)
+            .seed(13)
+            .tau(tau)
+            .build()
+            .expect("valid");
+        let mut driver = SimnetDriver::new(&session, d.clone(), NetConfig::default())
+            .expect("valid")
+            .with_probe_interval(0.5)
+            .expect("positive interval");
+        driver.run_until(&mut session, 150.0).expect("warmup");
+
+        let mut congested = d;
+        congested.scale_values(2.5); // most paths now classify "bad" at τ
+        let new_classes = congested.classify(tau);
+        driver
+            .update_rtt_ground_truth(congested)
+            .expect("same shape");
+        let accuracy = |session: &Session, cm: &dmf_datasets::ClassMatrix| {
+            let mut ok = 0usize;
+            let mut total = 0usize;
+            for (i, j) in cm.mask.iter_known() {
+                total += 1;
+                let predicted = if session.raw_score_unchecked(i, j) >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                if Some(predicted) == cm.label(i, j) {
+                    ok += 1;
+                }
+            }
+            ok as f64 / total as f64
+        };
+        let stale = accuracy(&session, &new_classes);
+        driver.run_until(&mut session, 450.0).expect("relearn");
+        let adapted = accuracy(&session, &new_classes);
+        assert!(
+            adapted > stale + 0.1 && adapted > 0.7,
+            "re-embedding not tracked: {stale} → {adapted}"
+        );
+    }
+
+    #[test]
+    fn partition_epoch_stalls_only_cross_island_learning() {
+        let d = meridian_like(24, 14);
+        let tau = d.median();
+        let mut session = Session::builder()
+            .nodes(24)
+            .k(8)
+            .seed(14)
+            .tau(tau)
+            .build()
+            .expect("valid");
+        let mut driver = SimnetDriver::new(&session, d, NetConfig::default())
+            .expect("valid")
+            .with_probe_interval(0.5)
+            .expect("positive interval");
+        driver.run_until(&mut session, 30.0).expect("warmup");
+        let island: Vec<usize> = (0..6).collect();
+        driver.set_partition(&island).expect("valid island");
+        let before = driver.stats().measurements_completed;
+        driver
+            .run_until(&mut session, 90.0)
+            .expect("partitioned run");
+        let during = driver.stats().measurements_completed - before;
+        assert!(during > 0, "intra-side probing must continue");
+        driver.clear_partition();
+        driver.run_until(&mut session, 150.0).expect("healed run");
+        let healed = driver.stats().measurements_completed - before - during;
+        assert!(
+            healed > during,
+            "healing must raise the measurement rate ({during} during vs {healed} after)"
         );
     }
 

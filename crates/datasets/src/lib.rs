@@ -17,7 +17,11 @@
 //!   for HP-S3), enforced by exact median re-calibration;
 //! * asymmetry and missing entries for ABW (HP-S3 has 4 % missing);
 //! * timestamped, unevenly-sampled dynamic measurement streams for
-//!   Harvard ([`dynamic`]).
+//!   Harvard ([`dynamic`]);
+//! * declarative *non-stationary scenarios* ([`scenario`]): drift,
+//!   flash congestion, routing changes, probe loss, partitions,
+//!   stragglers and churn composed over a timeline, with time-varying
+//!   ground truth derived from the same topology model.
 //!
 //! The substitution rationale is documented in `DESIGN.md` §4. Loaders
 //! for on-disk matrices/traces ([`io`]) accept the same representation,
@@ -41,9 +45,15 @@ pub mod dynamic;
 pub mod io;
 pub mod metric;
 pub mod rtt;
+// The scenario spec is service surface (the quality suite and CI gate
+// build on it): undocumented public items are hard errors, and
+// tools/check_doc_guards.sh keeps the attribute from being dropped.
+#[deny(missing_docs)]
+pub mod scenario;
 pub mod topology;
 
 pub use class::ClassMatrix;
 pub use dataset::Dataset;
 pub use dynamic::{DynamicTrace, Measurement};
 pub use metric::Metric;
+pub use scenario::{Condition, Scenario, ScenarioSpec};

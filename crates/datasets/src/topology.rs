@@ -144,20 +144,34 @@ impl Topology {
         self.cluster_of.is_empty()
     }
 
+    /// Backbone delay between two plane positions in ms (the one
+    /// distance formula behind every RTT below).
+    fn backbone_between((xi, yi): (f64, f64), (xj, yj): (f64, f64)) -> f64 {
+        ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+    }
+
     /// Backbone (position) distance between two nodes in ms.
     pub fn backbone_delay(&self, i: usize, j: usize) -> f64 {
-        let (xi, yi) = self.node_pos[i];
-        let (xj, yj) = self.node_pos[j];
-        ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt()
+        Self::backbone_between(self.node_pos[i], self.node_pos[j])
     }
 
     /// The noise-free RTT between two nodes:
     /// `access_i + access_j + backbone(i, j)`, and 0 on the diagonal.
     pub fn base_rtt(&self, i: usize, j: usize) -> f64 {
+        self.rtt_at_positions(i, j, self.node_pos[i], self.node_pos[j])
+    }
+
+    /// [`base_rtt`](Self::base_rtt) with the two nodes sitting at
+    /// explicit plane positions instead of their realized ones. The
+    /// single formula behind both the static generators and the
+    /// time-varying scenario ground truth ([`crate::scenario`] moves
+    /// positions during drift) — extend the RTT model here and both
+    /// stay in lockstep.
+    pub fn rtt_at_positions(&self, i: usize, j: usize, pi: (f64, f64), pj: (f64, f64)) -> f64 {
         if i == j {
             return 0.0;
         }
-        self.access_delay[i] + self.access_delay[j] + self.backbone_delay(i, j)
+        self.access_delay[i] + self.access_delay[j] + Self::backbone_between(pi, pj)
     }
 
     /// Builds the full symmetric RTT matrix with per-pair log-normal

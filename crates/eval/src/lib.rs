@@ -12,6 +12,10 @@
 //!   threshold (paper Table 2).
 //! * [`convergence`] — AUC as a function of measurements consumed
 //!   (paper Figure 5c).
+//! * [`window`] — windowed and rolling AUC/accuracy for
+//!   non-stationary scenarios, where quality per epoch (during a
+//!   congestion storm, after a partition heals) is the question the
+//!   end-of-run number cannot answer.
 //! * [`peersel`] — the peer-selection criteria of §6.4: *stretch*
 //!   (optimality) and the *unsatisfied-node percentage*
 //!   (satisfaction).
@@ -36,10 +40,16 @@ pub mod convergence;
 pub mod peersel;
 pub mod pr;
 pub mod roc;
+// Per-window quality is service surface (the scenario suite and the
+// CI quality gate consume it): undocumented public items are hard
+// errors, and tools/check_doc_guards.sh keeps the attribute in place.
+#[deny(missing_docs)]
+pub mod window;
 
 pub use confusion::ConfusionMatrix;
 pub use convergence::ConvergenceTracker;
 pub use roc::{auc_from_curve, auc_mann_whitney, roc_curve, RocPoint};
+pub use window::{window_stats, RollingAuc, WindowStats};
 
 /// A labeled prediction: the ground-truth class and the real-valued
 /// score the predictor assigned (higher = more likely "good").

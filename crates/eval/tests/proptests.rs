@@ -2,6 +2,7 @@
 
 use dmf_eval::pr::pr_curve;
 use dmf_eval::roc::{auc_from_curve, auc_mann_whitney, roc_curve};
+use dmf_eval::window::{window_stats, RollingAuc};
 use dmf_eval::ScoredLabel;
 use proptest::prelude::*;
 
@@ -101,5 +102,74 @@ proptest! {
         let cm = dmf_eval::ConfusionMatrix::at_threshold(&samples, threshold);
         prop_assert_eq!(cm.total(), samples.len());
         prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+    }
+
+    #[test]
+    fn rolling_window_over_whole_stream_equals_global(samples in mixed_samples()) {
+        // A window large enough to hold the whole stream must agree
+        // exactly with the batch evaluation — the rolling machinery
+        // may not perturb the statistics it windows.
+        let mut w = RollingAuc::new(samples.len());
+        for &x in &samples {
+            w.push(x);
+        }
+        let global = window_stats(&samples).expect("mixed stream");
+        let rolled = w.stats().expect("mixed stream");
+        prop_assert!((rolled.auc - global.auc).abs() < 1e-12);
+        prop_assert!((rolled.accuracy - global.accuracy).abs() < 1e-12);
+        prop_assert_eq!(rolled.positives, global.positives);
+        prop_assert_eq!(rolled.negatives, global.negatives);
+        prop_assert!((rolled.auc - auc_mann_whitney(&samples)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_stream_window_auc_equals_global(
+        samples in mixed_samples(),
+        reps in 2usize..5,
+    ) {
+        // A *constant* (periodic) stream: the same sample set arrives
+        // over and over. However long the stream runs, a window
+        // holding exactly one period sees the same multiset as the
+        // global evaluation — AUC and accuracy are set statistics, so
+        // windowed == global, regardless of where the window lands in
+        // the period (the ring is rotated, the multiset is not).
+        let period = samples.len();
+        let mut w = RollingAuc::new(period);
+        for _ in 0..reps {
+            for &x in &samples {
+                w.push(x);
+            }
+        }
+        prop_assert_eq!(w.len(), period);
+        let global = window_stats(&samples).expect("mixed stream");
+        let rolled = w.stats().expect("window covers one full period");
+        prop_assert!(
+            (rolled.auc - global.auc).abs() < 1e-12,
+            "window AUC {} != global AUC {}", rolled.auc, global.auc
+        );
+        prop_assert!((rolled.accuracy - global.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_period_offset_keeps_window_auc_in_bounds(
+        samples in mixed_samples(),
+        offset in 1usize..20,
+    ) {
+        // Pushing a partial extra period rotates the ring mid-period;
+        // the window still holds `period` of the last samples and the
+        // statistics stay well-formed.
+        let period = samples.len();
+        let mut w = RollingAuc::new(period);
+        for &x in &samples {
+            w.push(x);
+        }
+        for &x in samples.iter().cycle().take(offset % period) {
+            w.push(x);
+        }
+        if let Some(stats) = w.stats() {
+            prop_assert!((0.0..=1.0).contains(&stats.auc));
+            prop_assert!((0.0..=1.0).contains(&stats.accuracy));
+            prop_assert_eq!(stats.positives + stats.negatives, period);
+        }
     }
 }

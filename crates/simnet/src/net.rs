@@ -104,7 +104,9 @@ impl JitterSampler {
     }
 }
 
-/// The simulated network: an event queue plus a latency/loss model.
+/// The simulated network: an event queue plus a latency/loss model,
+/// with mid-run impairment hooks (loss level, partitions, stragglers,
+/// delay re-embedding) for non-stationary scenarios.
 pub struct SimNet<M> {
     queue: EventQueue<Delivery<M>>,
     /// One-way delays in seconds, `n × n`, derived from the dataset.
@@ -120,6 +122,12 @@ pub struct SimNet<M> {
     jitter: JitterSampler,
     stats: NetStats,
     in_flight_non_timer: usize,
+    /// Partition classes: a message passes only between nodes of
+    /// equal class, so each bit models one independent island's cut.
+    /// Empty = no partition (the hot-path fast case).
+    partition_class: Vec<u32>,
+    /// Per-node delay multiplier (stragglers); empty = all ones.
+    delay_factor: Vec<f32>,
 }
 
 impl<M> SimNet<M> {
@@ -129,11 +137,12 @@ impl<M> SimNet<M> {
     /// default delay.
     pub fn from_rtt_dataset(dataset: &Dataset, config: NetConfig) -> Self {
         let n = dataset.len();
-        let mut one_way_delay = vec![config.default_one_way_delay_s as f32; n * n];
-        for (i, j) in dataset.mask.iter_known() {
-            one_way_delay[i * n + j] = (dataset.values[(i, j)] / 2.0 / 1000.0) as f32;
-        }
-        Self::with_delays(n, one_way_delay, config)
+        let table = vec![config.default_one_way_delay_s as f32; n * n];
+        let mut net = Self::with_delays(n, table, config);
+        // One conversion path: construction IS a delay re-embedding
+        // onto a default-filled table, so the two can never drift.
+        net.set_one_way_delays_from_rtt(dataset);
+        net
     }
 
     /// Builds a network with a uniform one-way delay (useful for unit
@@ -157,6 +166,8 @@ impl<M> SimNet<M> {
             rng,
             stats: NetStats::default(),
             in_flight_non_timer: 0,
+            partition_class: Vec::new(),
+            delay_factor: Vec::new(),
         }
     }
 
@@ -180,11 +191,151 @@ impl<M> SimNet<M> {
         self.stats
     }
 
-    /// Sends `msg` from `from` to `to`. The message is subject to loss
-    /// and delay jitter.
+    // ---- impairment hooks (non-stationary scenarios) ----------------
+
+    /// Replaces the message-loss probability mid-run (scenario loss
+    /// epochs). Timers are still never lost.
+    ///
+    /// # Panics
+    /// Panics when `p` is not a probability.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of [0, 1]"
+        );
+        self.config.loss_probability = p;
+    }
+
+    /// The message-loss probability currently in force.
+    pub fn loss_probability(&self) -> f64 {
+        self.config.loss_probability
+    }
+
+    /// Partitions the network into one island: `island` nodes can no
+    /// longer exchange messages with the rest (island-internal and
+    /// mainland-internal traffic still flows; cut messages count as
+    /// dropped). Replaces any previous partition. Timers keep firing
+    /// on both sides. For several concurrent islands use
+    /// [`set_partition_classes`](Self::set_partition_classes).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range node id, or when the island holds the
+    /// whole population (the cut would be empty, silently inverting
+    /// the caller's intent).
+    pub fn set_partition(&mut self, island: &[usize]) {
+        if island.is_empty() {
+            self.partition_class.clear();
+            return;
+        }
+        let mut classes = vec![0u32; self.n];
+        for &i in island {
+            assert!(i < self.n, "node id out of range");
+            classes[i] = 1;
+        }
+        assert!(
+            classes.contains(&0),
+            "partition island must be a strict subset of the population"
+        );
+        self.partition_class = classes;
+    }
+
+    /// Partitions the network into arbitrary connectivity classes: a
+    /// message passes only between nodes of equal class, so several
+    /// islands can be cut from the mainland *and from each other* at
+    /// once (encode each island as its own bit, as
+    /// `dmf_datasets::scenario::Impairments::partition_classes` does).
+    /// An empty slice (or all-equal classes) means fully connected.
+    /// Replaces any previous partition.
+    ///
+    /// # Panics
+    /// Panics when `classes` is non-empty and not one entry per node.
+    pub fn set_partition_classes(&mut self, classes: &[u32]) {
+        if classes.is_empty() {
+            self.partition_class.clear();
+            return;
+        }
+        assert_eq!(
+            classes.len(),
+            self.n,
+            "partition class vector shape mismatch"
+        );
+        self.partition_class.clear();
+        self.partition_class.extend_from_slice(classes);
+    }
+
+    /// Heals any partition.
+    pub fn clear_partition(&mut self) {
+        self.partition_class.clear();
+    }
+
+    /// True when a message between `from` and `to` would cross an
+    /// active partition cut.
+    pub fn is_cut(&self, from: usize, to: usize) -> bool {
+        !self.partition_class.is_empty() && self.partition_class[from] != self.partition_class[to]
+    }
+
+    /// Multiplies every message leg touching `node` by `factor`
+    /// (straggler injection: the host is slow, not the path — ground
+    /// truth is unaffected). Factors from both endpoints compose
+    /// multiplicatively; `1.0` restores the node.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id or a non-positive factor.
+    pub fn set_delay_factor(&mut self, node: usize, factor: f64) {
+        assert!(node < self.n, "node id out of range");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "delay factor must be positive (got {factor})"
+        );
+        if self.delay_factor.is_empty() {
+            if factor == 1.0 {
+                return;
+            }
+            self.delay_factor = vec![1.0; self.n];
+        }
+        self.delay_factor[node] = factor as f32;
+    }
+
+    /// Rebuilds the one-way delay table from a new RTT ground truth in
+    /// **milliseconds** (delay = RTT/2). This is the single conversion
+    /// path — [`from_rtt_dataset`](Self::from_rtt_dataset) constructs
+    /// through it — so re-embedding behaves exactly like construction:
+    /// pairs the dataset's mask does not cover reset to the configured
+    /// default delay, never to the previous truth's stale value. Messages
+    /// already in flight keep their old delay; everything sent
+    /// afterwards sees the new network. This is the re-embedding hook
+    /// drift and congestion scenarios use.
+    ///
+    /// # Panics
+    /// Panics when the dataset covers a different node count.
+    pub fn set_one_way_delays_from_rtt(&mut self, dataset: &Dataset) {
+        assert_eq!(dataset.len(), self.n, "delay table shape mismatch");
+        self.one_way_delay
+            .fill(self.config.default_one_way_delay_s as f32);
+        for (i, j) in dataset.mask.iter_known() {
+            self.one_way_delay[i * self.n + j] = (dataset.values[(i, j)] / 2.0 / 1000.0) as f32;
+        }
+    }
+
+    /// The combined straggler factor on the leg `from → to`.
+    #[inline]
+    fn leg_factor(&self, from: usize, to: usize) -> f64 {
+        if self.delay_factor.is_empty() {
+            1.0
+        } else {
+            f64::from(self.delay_factor[from]) * f64::from(self.delay_factor[to])
+        }
+    }
+
+    /// Sends `msg` from `from` to `to`. The message is subject to
+    /// loss, partitions and delay jitter.
     pub fn send(&mut self, from: usize, to: usize, msg: M) {
         assert!(from < self.n && to < self.n, "node id out of range");
         self.stats.sent += 1;
+        if self.is_cut(from, to) {
+            self.stats.dropped += 1;
+            return;
+        }
         // Loss-free networks skip the loss draw entirely.
         if self.config.loss_probability > 0.0
             && self.rng.gen::<f64>() < self.config.loss_probability
@@ -192,7 +343,7 @@ impl<M> SimNet<M> {
             self.stats.dropped += 1;
             return;
         }
-        let base = f64::from(self.one_way_delay[from * self.n + to]);
+        let base = f64::from(self.one_way_delay[from * self.n + to]) * self.leg_factor(from, to);
         let jitter = if self.config.delay_jitter_sigma > 0.0 {
             self.jitter.sample(&mut self.rng)
         } else {
@@ -258,6 +409,11 @@ impl<M> SimNet<M> {
         assert!(from < self.n && to < self.n, "node id out of range");
         assert!(at >= self.now(), "roundtrip departing in the past");
         self.stats.sent += 2;
+        if self.is_cut(from, to) {
+            // The probe leg dies at the cut; the reply is never sent.
+            self.stats.dropped += 1;
+            return false;
+        }
         if self.config.loss_probability > 0.0 {
             let lost_fwd = self.rng.gen::<f64>() < self.config.loss_probability;
             let lost_back = self.rng.gen::<f64>() < self.config.loss_probability;
@@ -266,8 +422,9 @@ impl<M> SimNet<M> {
                 return false;
             }
         }
-        let fwd = f64::from(self.one_way_delay[from * self.n + to]);
-        let back = f64::from(self.one_way_delay[to * self.n + from]);
+        let factor = self.leg_factor(from, to);
+        let fwd = f64::from(self.one_way_delay[from * self.n + to]) * factor;
+        let back = f64::from(self.one_way_delay[to * self.n + from]) * factor;
         let rtt = if self.config.delay_jitter_sigma > 0.0 {
             let j1 = self.jitter.sample(&mut self.rng);
             let j2 = self.jitter.sample(&mut self.rng);
@@ -449,6 +606,180 @@ mod tests {
     fn send_validates_node_ids() {
         let mut net: SimNet<()> = SimNet::uniform(2, 0.01, NetConfig::default());
         net.send(0, 5, ());
+    }
+
+    #[test]
+    fn partition_cuts_cross_island_traffic_only() {
+        let mut net: SimNet<u32> = SimNet::uniform(
+            6,
+            0.01,
+            NetConfig {
+                delay_jitter_sigma: 0.0,
+                ..NetConfig::default()
+            },
+        );
+        net.set_partition(&[0, 1]);
+        assert!(net.is_cut(0, 3) && net.is_cut(3, 0));
+        assert!(!net.is_cut(0, 1), "island-internal traffic flows");
+        assert!(!net.is_cut(4, 5), "mainland-internal traffic flows");
+        net.send(0, 3, 1); // cut: dropped
+        net.send(0, 1, 2); // island-internal: delivered
+        net.send(4, 5, 3); // mainland: delivered
+        assert!(!net.roundtrip(2, 1, 9), "roundtrip across the cut dies");
+        assert!(net.roundtrip(0, 1, 10));
+        let mut got = Vec::new();
+        while let Some((_, d)) = net.next_delivery() {
+            got.push(d.msg);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3, 10]);
+        assert_eq!(net.stats().dropped, 2);
+
+        // Healing restores full connectivity.
+        net.clear_partition();
+        assert!(!net.is_cut(0, 3));
+        assert!(net.roundtrip(2, 1, 11));
+    }
+
+    #[test]
+    fn partition_classes_cut_islands_from_each_other() {
+        let mut net: SimNet<u32> = SimNet::uniform(
+            6,
+            0.01,
+            NetConfig {
+                delay_jitter_sigma: 0.0,
+                ..NetConfig::default()
+            },
+        );
+        // Two islands {0,1} and {2,3}, mainland {4,5}: every
+        // cross-group pair is cut, intra-group traffic flows.
+        net.set_partition_classes(&[1, 1, 2, 2, 0, 0]);
+        assert!(net.is_cut(0, 2), "islands are mutually cut");
+        assert!(net.is_cut(1, 4) && net.is_cut(3, 5));
+        assert!(!net.is_cut(0, 1) && !net.is_cut(2, 3) && !net.is_cut(4, 5));
+        net.send(0, 2, 1); // island↔island: dropped
+        net.send(2, 3, 2); // intra-island: delivered
+        net.send(4, 5, 3); // mainland: delivered
+        let mut got = Vec::new();
+        while let Some((_, d)) = net.next_delivery() {
+            got.push(d.msg);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3]);
+        // Empty classes heal; all-equal classes are fully connected.
+        net.set_partition_classes(&[]);
+        assert!(!net.is_cut(0, 2));
+        net.set_partition_classes(&[7, 7, 7, 7, 7, 7]);
+        assert!(!net.is_cut(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strict subset")]
+    fn full_population_island_rejected() {
+        let mut net: SimNet<()> = SimNet::uniform(3, 0.01, NetConfig::default());
+        net.set_partition(&[0, 1, 2]);
+    }
+
+    #[test]
+    fn straggler_factor_slows_both_legs() {
+        let mut net: SimNet<u8> = SimNet::uniform(
+            3,
+            0.01,
+            NetConfig {
+                delay_jitter_sigma: 0.0,
+                ..NetConfig::default()
+            },
+        );
+        net.set_delay_factor(1, 5.0);
+        net.send(0, 1, 1);
+        let (t, _) = net.next_delivery().unwrap();
+        assert!((t - 0.05).abs() < 1e-7, "leg to the straggler is 5×: {t}");
+        net.send(0, 2, 2);
+        let (t2, _) = net.next_delivery().unwrap();
+        assert!((t2 - t - 0.01).abs() < 1e-7, "non-straggler leg unchanged");
+        assert!(net.roundtrip(2, 1, 3));
+        let (t3, _) = net.next_delivery().unwrap();
+        assert!(
+            (t3 - t2 - 0.10).abs() < 1e-7,
+            "round trip via the straggler is 5× both ways: {}",
+            t3 - t2
+        );
+        // Restoring the factor restores timing.
+        net.set_delay_factor(1, 1.0);
+        net.send(0, 1, 4);
+        let (t4, _) = net.next_delivery().unwrap();
+        assert!((t4 - t3 - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn loss_probability_update_takes_effect() {
+        let mut net: SimNet<u32> = SimNet::uniform(2, 0.01, NetConfig::default());
+        assert_eq!(net.loss_probability(), 0.0);
+        for i in 0..100 {
+            net.send(0, 1, i);
+        }
+        assert_eq!(net.stats().dropped, 0);
+        net.set_loss_probability(1.0);
+        for i in 0..100 {
+            net.send(0, 1, i);
+        }
+        assert_eq!(net.stats().dropped, 100);
+        net.set_loss_probability(0.0);
+        net.send(0, 1, 7);
+        assert_eq!(net.stats().dropped, 100);
+    }
+
+    #[test]
+    fn delay_re_embedding_applies_to_new_sends() {
+        let d = meridian_like(8, 11);
+        let mut net: SimNet<u8> = SimNet::from_rtt_dataset(
+            &d,
+            NetConfig {
+                delay_jitter_sigma: 0.0,
+                ..NetConfig::default()
+            },
+        );
+        let mut congested = d.clone();
+        congested.scale_values(3.0);
+        net.send(0, 1, 1); // in flight under the old delays
+        net.set_one_way_delays_from_rtt(&congested);
+        net.send(0, 1, 2);
+        let (t1, _) = net.next_delivery().unwrap();
+        let (t2, _) = net.next_delivery().unwrap();
+        let old = d.values[(0, 1)] / 2.0 / 1000.0;
+        assert!((t1 - old).abs() < old * 1e-6, "in-flight keeps old delay");
+        assert!(
+            (t2 - 3.0 * old).abs() < 3.0 * old * 1e-6,
+            "post-update sends see the congested network"
+        );
+
+        // A sparser truth resets uncovered pairs to the default delay
+        // (no stale leftovers from the previous embedding).
+        let mut sparse = congested;
+        sparse.mask.set(0, 1, false);
+        net.set_one_way_delays_from_rtt(&sparse);
+        net.send(0, 1, 3);
+        let (t3, _) = net.next_delivery().unwrap();
+        let default = NetConfig::default().default_one_way_delay_s;
+        assert!(
+            (t3 - t2 - default).abs() < default * 1e-6,
+            "uncovered pair must fall back to the default delay, got {}",
+            t3 - t2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn loss_probability_validated() {
+        let mut net: SimNet<()> = SimNet::uniform(2, 0.01, NetConfig::default());
+        net.set_loss_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_validates_ids() {
+        let mut net: SimNet<()> = SimNet::uniform(2, 0.01, NetConfig::default());
+        net.set_partition(&[5]);
     }
 
     #[test]
