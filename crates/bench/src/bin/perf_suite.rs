@@ -50,6 +50,14 @@ fn main() {
         );
     }
 
+    for r in &suite.scale_runs {
+        println!(
+            "scale n={} islands={} sim={}s: {:.0} events/s, {:.0} SGD updates/s, {:.0} B/node (dense would be {} B/node)",
+            r.n, r.islands, r.sim_seconds, r.events_per_sec, r.updates_per_sec, r.bytes_per_node,
+            4 * r.n
+        );
+    }
+
     let json = serde_json::to_string_pretty(&suite).expect("serialize perf report");
     std::fs::write(&out, json).expect("write BENCH json");
     println!("written: {out}");

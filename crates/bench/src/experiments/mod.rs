@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod perf;
 pub mod scale;
+pub mod scale_sim;
 pub mod scenario;
 pub mod table1;
 pub mod table2;

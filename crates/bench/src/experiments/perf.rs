@@ -20,8 +20,15 @@
 //! | `meridian_simnet_run` | events (protocol legs, 3/probe) | message-driven [`SimnetRunner::run_for`] |
 //! | `harvard_replay` | measurements | time-ordered trace replay |
 //! | `score_eval` | entries | full-matrix `predicted_scores` |
+//! | `scale_events_{n}` | events | sharded 10k/100k fused-RTT run ([`scale_sim`]) |
+//! | `scale_sgd_{n}` | updates | SGD steps inside the same scale run |
+//!
+//! The scale runs additionally persist a structured [`ScaleRun`]
+//! record (island layout, memory-per-node) in the report's
+//! `scale_runs` field.
 
 use crate::experiments::scale::Scale;
+use crate::experiments::scale_sim::{self, ScaleRun};
 use crate::experiments::training::default_config;
 use dmf_core::provider::ClassLabelProvider;
 use dmf_core::runner::SimnetRunner;
@@ -33,8 +40,9 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Bump when the JSON layout changes incompatibly (comparison scripts
-/// key on this).
-pub const SCHEMA_VERSION: u32 = 1;
+/// key on this). v2: the `scale_runs` field (sharded 10k/100k
+/// workload) became part of the record.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Simulated seconds the Meridian simnet workload runs for.
 const MERIDIAN_SIM_DURATION_S: f64 = 600.0;
@@ -48,6 +56,19 @@ const HARVARD_REPLAY_REPEATS: usize = 3;
 
 /// Multiplier on the oracle-driven tick budget.
 const SGD_TICKS_REPEATS: usize = 4;
+
+/// Scale-run populations and simulated durations per preset. The
+/// quick preset keeps only the 10k run (short, so the suite stays a
+/// CI smoke); standard and paper add the 100k run the tentpole
+/// targets. Work stays fixed per preset: population × simulated
+/// seconds pins the event count up to RNG-driven probe jitter.
+fn scale_populations(name: &str) -> &'static [(usize, f64)] {
+    match name {
+        "paper" => &[(10_000, 60.0), (100_000, 20.0)],
+        "standard" => &[(10_000, 30.0), (100_000, 10.0)],
+        _ => &[(10_000, 3.0)],
+    }
+}
 
 /// One timed workload.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -75,6 +96,9 @@ pub struct PerfReport {
     pub label: String,
     /// All metrics, in fixed order.
     pub metrics: Vec<PerfMetric>,
+    /// Structured records for the sharded scale runs (schema v2; the
+    /// flat `scale_*` metrics are derived from these).
+    pub scale_runs: Vec<ScaleRun>,
 }
 
 impl PerfReport {
@@ -205,11 +229,34 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
         }));
     }
 
+    // -- scale: sharded fused-RTT simulation at 10k/100k nodes --------
+    let mut scale_runs = Vec::new();
+    for &(n, sim_seconds) in scale_populations(scale_name(scale)) {
+        let run = scale_sim::run_one(n, sim_seconds, 7);
+        let tag = scale_sim::population_label(n);
+        metrics.push(PerfMetric {
+            name: format!("scale_events_{tag}"),
+            work: run.events as f64,
+            unit: "events".to_string(),
+            elapsed_s: run.elapsed_s,
+            per_sec: run.events_per_sec,
+        });
+        metrics.push(PerfMetric {
+            name: format!("scale_sgd_{tag}"),
+            work: run.sgd_updates as f64,
+            unit: "updates".to_string(),
+            elapsed_s: run.elapsed_s,
+            per_sec: run.updates_per_sec,
+        });
+        scale_runs.push(run);
+    }
+
     PerfReport {
         schema_version: SCHEMA_VERSION,
         scale: scale_name(scale).to_string(),
         label: label.to_string(),
         metrics,
+        scale_runs,
     }
 }
 
@@ -229,7 +276,9 @@ mod tests {
                 "sgd_updates",
                 "meridian_simnet_run",
                 "harvard_replay",
-                "score_eval"
+                "score_eval",
+                "scale_events_10k",
+                "scale_sgd_10k"
             ]
         );
         for m in &report.metrics {
@@ -240,6 +289,37 @@ mod tests {
                 m.name
             );
         }
+        // The structured scale record mirrors the flat metrics and
+        // carries the memory-per-node accounting.
+        assert_eq!(report.scale_runs.len(), 1);
+        let r = &report.scale_runs[0];
+        assert_eq!(r.n, 10_000);
+        assert_eq!(r.islands, 40);
+        assert_eq!(
+            report.metric("scale_events_10k").unwrap().work,
+            r.events as f64
+        );
+        assert_eq!(
+            report.metric("scale_sgd_10k").unwrap().work,
+            r.sgd_updates as f64
+        );
+        // Island tables: 40 islands of 250 → 1 KB/node, not the 40 KB
+        // a dense 10k×10k table would cost.
+        assert_eq!(r.table_bytes, 40 * 250 * 250 * 4);
+        assert!(r.bytes_per_node < 1_024.0);
+    }
+
+    /// The scale workload is a deliberate schema break (v1 → v2): v1
+    /// reports lack `scale_runs` and must fail loudly at parse time
+    /// rather than silently comparing against a truncated record —
+    /// `perf_suite --compare` additionally checks `schema_version`.
+    #[test]
+    fn pre_scale_reports_are_rejected() {
+        let v1 = r#"{"schema_version":1,"scale":"quick","label":"old",
+            "metrics":[{"name":"sgd_updates","work":1.0,"unit":"updates",
+            "elapsed_s":1.0,"per_sec":1.0}]}"#;
+        let err = serde_json::from_str::<PerfReport>(v1).unwrap_err();
+        assert!(err.to_string().contains("scale_runs"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Large-population scale workload: fused RTT over sharded islands.
+//!
+//! The paper's pitch is that matrix-factorization coordinates cost
+//! O(r) per measurement regardless of the population, so the system
+//! should scale to "the large-n regime" without any per-node blow-up.
+//! This module stress-tests that claim end to end at 10k and 100k
+//! simulated nodes — two orders of magnitude past the Meridian
+//! workload — through the exact production path:
+//! [`ShardedSimNet`] (per-island delay tables, deterministic
+//! event-order merge) driven by [`ShardedSimnetDriver`] (the fused
+//! RTT protocol, byte-identical to the single-queue driver).
+//!
+//! Three numbers are tracked per population in `BENCH.json`:
+//!
+//! * **events/s** — delivered simulation events per wall-clock second
+//!   (queue merge + protocol handling + SGD, the whole loop);
+//! * **SGD updates/s** — completed measurements per wall-clock second
+//!   (each one is a rank-r gradient step at the prober);
+//! * **bytes/node** — delay-table memory per node. Dense tables are
+//!   `4n` bytes per node (40 GB total at n=100k); island sharding
+//!   holds this at `4·⌈n/islands⌉` ≈ 1 KB, which is what makes the
+//!   100k run possible at all.
+//!
+//! The delay model is synthetic-geometric: nodes sit on a
+//! `⌈√n⌉`-wide grid and one-way delay grows with Euclidean distance,
+//! so RTTs straddle τ and both classes stay populated. No dense
+//! ground-truth matrix is ever materialized — the fused protocol
+//! measures the simulated network itself.
+
+use crate::experiments::training::default_config;
+use dmf_core::{SessionBuilder, ShardedSimnetDriver};
+use dmf_simnet::{NetConfig, ShardedSimNet};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Target island size: `4·256² = 256 KB` per delay table, L2-resident
+/// on anything modern.
+pub const TARGET_ISLAND_SIZE: usize = 256;
+
+/// Classification threshold (ms) for the synthetic-geometric RTT
+/// distribution — chosen so both classes stay populated.
+pub const SCALE_TAU_MS: f64 = 25.0;
+
+/// One timed scale run, persisted inside `BENCH.json` next to the
+/// flat metric list.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScaleRun {
+    /// Population.
+    pub n: usize,
+    /// Island count (`⌈n / 256⌉`).
+    pub islands: usize,
+    /// Simulated seconds driven.
+    pub sim_seconds: f64,
+    /// Delivered simulation events (probe ticks + exchange
+    /// completions + timer re-arms).
+    pub events: u64,
+    /// Completed measurements (one rank-r SGD step each).
+    pub sgd_updates: u64,
+    /// Wall-clock seconds for the drive loop (setup excluded).
+    pub elapsed_s: f64,
+    /// `events / elapsed_s`.
+    pub events_per_sec: f64,
+    /// `sgd_updates / elapsed_s`.
+    pub updates_per_sec: f64,
+    /// Total delay-table bytes across all islands.
+    pub table_bytes: usize,
+    /// `table_bytes / n` — the memory-per-node headline (dense would
+    /// be `4n` per node).
+    pub bytes_per_node: f64,
+}
+
+/// Synthetic-geometric one-way delay: grid position from the node id,
+/// `5 ms + 50 µs · distance`. Deterministic, no RNG, so the same
+/// (n, seed) run is exactly reproducible.
+fn geometric_delay(n: usize) -> impl Fn(usize, usize) -> f64 {
+    let side = (n as f64).sqrt().ceil().max(1.0) as usize;
+    move |i, j| {
+        let (xi, yi) = (i % side, i / side);
+        let (xj, yj) = (j % side, j / side);
+        let dx = xi.abs_diff(xj) as f64;
+        let dy = yi.abs_diff(yj) as f64;
+        0.005 + 0.000_05 * (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Builds the `n`-node sharded scenario and drives it for
+/// `sim_seconds` of simulated time, returning the tracked rates.
+pub fn run_one(n: usize, sim_seconds: f64, seed: u64) -> ScaleRun {
+    let islands = n.div_ceil(TARGET_ISLAND_SIZE);
+    let mut session = SessionBuilder::from_config(default_config(10, seed))
+        .nodes(n)
+        .tau(SCALE_TAU_MS)
+        .build()
+        .expect("scale config is valid");
+    let net_cfg = NetConfig {
+        seed,
+        ..NetConfig::default()
+    };
+    let net = ShardedSimNet::from_delay_fn(n, islands, net_cfg, geometric_delay(n));
+    let islands = net.islands();
+    let table_bytes = net.table_bytes();
+    let mut driver = ShardedSimnetDriver::new(&session, net).expect("population matches");
+
+    let start = Instant::now();
+    driver
+        .run_until(&mut session, sim_seconds)
+        .expect("scale run completes");
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-12);
+
+    let net_stats = driver.net().stats();
+    let events = (net_stats.delivered + net_stats.timers) as u64;
+    let sgd_updates = driver.stats().measurements_completed as u64;
+    ScaleRun {
+        n,
+        islands,
+        sim_seconds,
+        events,
+        sgd_updates,
+        elapsed_s,
+        events_per_sec: events as f64 / elapsed_s,
+        updates_per_sec: sgd_updates as f64 / elapsed_s,
+        table_bytes,
+        bytes_per_node: table_bytes as f64 / n as f64,
+    }
+}
+
+/// Short label for metric names (`10000 → "10k"`).
+pub fn population_label(n: usize) -> String {
+    if n >= 1000 && n.is_multiple_of(1000) {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_run_trains_and_accounts_memory() {
+        // Small population, same code path: 1024 nodes, 4 islands.
+        let run = run_one(1024, 3.0, 11);
+        assert_eq!(run.n, 1024);
+        assert_eq!(run.islands, 4);
+        assert!(run.events > 0 && run.sgd_updates > 0);
+        assert!(run.events >= run.sgd_updates);
+        assert!(run.events_per_sec > 0.0 && run.updates_per_sec > 0.0);
+        // 4 islands of 256 → 4·256² f32 entries, 1 KB per node —
+        // dense would be 4·1024 = 4 KB per node.
+        assert_eq!(run.table_bytes, 4 * 256 * 256 * 4);
+        assert!((run.bytes_per_node - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_delays_are_positive_symmetric_and_graded() {
+        let d = geometric_delay(10_000);
+        assert!(d(0, 0) >= 0.005);
+        assert_eq!(d(17, 4242).to_bits(), d(4242, 17).to_bits());
+        // Distance-graded: a far pair beats a near pair.
+        assert!(d(0, 9_999) > d(0, 1));
+    }
+
+    #[test]
+    fn population_labels_abbreviate_thousands() {
+        assert_eq!(population_label(10_000), "10k");
+        assert_eq!(population_label(100_000), "100k");
+        assert_eq!(population_label(1024), "1024");
+    }
+}

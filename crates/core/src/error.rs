@@ -42,6 +42,11 @@ pub enum DmfsgdError {
     /// was rejected: id order, coordinate rank or finiteness did not
     /// match the session.
     Import(String),
+    /// A batched linear-algebra query was asked of incompatible
+    /// shapes (wrapped from [`dmf_linalg::ShapeError`]); the fallible
+    /// query surface ([`crate::session::Session::try_predicted_scores`])
+    /// returns this where the internal hot paths keep their assert.
+    Shape(dmf_linalg::ShapeError),
 }
 
 impl fmt::Display for DmfsgdError {
@@ -53,6 +58,7 @@ impl fmt::Display for DmfsgdError {
             DmfsgdError::Decode(e) => write!(f, "datagram decode failed: {e}"),
             DmfsgdError::Transport(msg) => write!(f, "transport failure: {msg}"),
             DmfsgdError::Import(msg) => write!(f, "node import rejected: {msg}"),
+            DmfsgdError::Shape(e) => e.fmt(f),
         }
     }
 }
@@ -80,6 +86,12 @@ impl From<SnapshotError> for DmfsgdError {
 impl From<dmf_proto::DecodeError> for DmfsgdError {
     fn from(e: dmf_proto::DecodeError) -> Self {
         DmfsgdError::Decode(e)
+    }
+}
+
+impl From<dmf_linalg::ShapeError> for DmfsgdError {
+    fn from(e: dmf_linalg::ShapeError) -> Self {
+        DmfsgdError::Shape(e)
     }
 }
 

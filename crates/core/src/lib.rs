@@ -82,6 +82,7 @@ pub mod provider;
 pub mod runner;
 #[deny(missing_docs)]
 pub mod session;
+pub mod sharded;
 #[deny(missing_docs)]
 pub mod snapshot;
 pub mod system;
@@ -94,5 +95,6 @@ pub use loss::Loss;
 pub use node::DmfsgdNode;
 pub use runner::{ExchangeFidelity, SimnetDriver, SimnetRunner};
 pub use session::{Driver, OracleDriver, Session, SessionBuilder};
+pub use sharded::ShardedSimnetDriver;
 pub use snapshot::Snapshot;
 pub use system::DmfsgdSystem;

@@ -119,6 +119,131 @@ pub struct RunnerStats {
     pub measurements_completed: usize,
 }
 
+/// The transport surface the fused RTT protocol needs — satisfied by
+/// both the single-queue [`SimNet`] and the sharded
+/// [`dmf_simnet::ShardedSimNet`], so one implementation of the
+/// protocol (probe firing, exchange completion, timer chaining)
+/// drives both. Deliberately minimal: the fused path never uses
+/// `send`, impairment hooks, or a ground-truth dataset.
+pub(crate) trait RttTransport {
+    /// Schedules a fused round trip departing at `at`; false = lost.
+    fn roundtrip_at(&mut self, from: usize, to: usize, at: f64, msg: Msg) -> bool;
+    /// Schedules a lossless timer after `delay` seconds.
+    fn set_timer(&mut self, node: usize, delay: f64, msg: Msg);
+    /// Schedules a lossless timer at absolute time `at`.
+    fn set_timer_at(&mut self, node: usize, at: f64, msg: Msg);
+}
+
+impl RttTransport for SimNet<Msg> {
+    fn roundtrip_at(&mut self, from: usize, to: usize, at: f64, msg: Msg) -> bool {
+        SimNet::roundtrip_at(self, from, to, at, msg)
+    }
+    fn set_timer(&mut self, node: usize, delay: f64, msg: Msg) {
+        SimNet::set_timer(self, node, delay, msg)
+    }
+    fn set_timer_at(&mut self, node: usize, at: f64, msg: Msg) {
+        SimNet::set_timer_at(self, node, at, msg)
+    }
+}
+
+impl RttTransport for dmf_simnet::ShardedSimNet<Msg> {
+    fn roundtrip_at(&mut self, from: usize, to: usize, at: f64, msg: Msg) -> bool {
+        dmf_simnet::ShardedSimNet::roundtrip_at(self, from, to, at, msg)
+    }
+    fn set_timer(&mut self, node: usize, delay: f64, msg: Msg) {
+        dmf_simnet::ShardedSimNet::set_timer(self, node, delay, msg)
+    }
+    fn set_timer_at(&mut self, node: usize, at: f64, msg: Msg) {
+        dmf_simnet::ShardedSimNet::set_timer_at(self, node, at, msg)
+    }
+}
+
+/// Fused-mode probe departing node `i` at (current or future) time
+/// `tick_at`: draws the neighbor and schedules the round trip. A lost
+/// exchange would break the probe chain, so it falls back to a bare
+/// timer that keeps the probe clock ticking.
+pub(crate) fn fused_fire_probe<N: RttTransport>(
+    net: &mut N,
+    session: &mut Session,
+    stats: &mut RunnerStats,
+    probe_interval_s: f64,
+    i: usize,
+    tick_at: f64,
+) {
+    let j = session.neighbors.sample_neighbor(i, &mut session.rng);
+    stats.probes_sent += 1;
+    if !net.roundtrip_at(i, j, tick_at, Msg::RttExchange { sent_at: tick_at }) {
+        let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
+        net.set_timer_at(i, tick_at + probe_interval_s * jitter, Msg::ProbeTick);
+    }
+}
+
+/// Re-arms node `i`'s probe timer one jittered interval ahead.
+pub(crate) fn fused_rearm_timer<N: RttTransport>(
+    net: &mut N,
+    session: &mut Session,
+    probe_interval_s: f64,
+    i: usize,
+) {
+    let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
+    net.set_timer(i, probe_interval_s * jitter, Msg::ProbeTick);
+}
+
+/// Fused steps 2–4 at node `i` (= `to`): the round trip against `j`
+/// (= `from`) just completed at `now`; classify its duration at `tau`,
+/// train against the target's live coordinates, and chain the next
+/// probe.
+#[allow(clippy::too_many_arguments)] // protocol state, not a config bag
+pub(crate) fn fused_on_exchange<N: RttTransport>(
+    net: &mut N,
+    session: &mut Session,
+    stats: &mut RunnerStats,
+    probe_interval_s: f64,
+    tau: f64,
+    now: f64,
+    i: usize,
+    j: usize,
+    sent_at: f64,
+) {
+    if !session.is_alive(i) {
+        // Prober left with the exchange in flight: keep the probe
+        // clock ticking for a future rejoin.
+        fused_rearm_timer(net, session, probe_interval_s, i);
+        return;
+    }
+    if session.is_alive(j) {
+        let rtt_ms = (now - sent_at) * 1000.0;
+        let x = Metric::Rtt.classify(rtt_ms, tau);
+        let params = session.config.sgd;
+        // Disjoint borrows of prober and target (i ≠ j by the
+        // neighbor-set invariant) avoid snapshot copies.
+        let (prober, target) = if i < j {
+            let (lo, hi) = session.nodes.split_at_mut(j);
+            (&mut lo[i], &hi[0])
+        } else {
+            let (lo, hi) = session.nodes.split_at_mut(i);
+            (&mut hi[0], &lo[j])
+        };
+        prober.on_rtt_measurement(x, &target.coords.u, &target.coords.v, &params);
+        session.measurements += 1;
+        stats.measurements_completed += 1;
+    }
+    // Chain node i's next probe directly: one event per probe cycle
+    // instead of a separate timer tick. The next tick nominally fires
+    // at `sent_at + interval`, which lies beyond this completion
+    // whenever the probe interval exceeds one RTT (the Vivaldi-style
+    // regime); if a pathological config makes it land in the past,
+    // fall back to an immediate timer so the schedule only ever
+    // slips, never panics.
+    let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
+    let t_next = sent_at + probe_interval_s * jitter;
+    if t_next > now {
+        fused_fire_probe(net, session, stats, probe_interval_s, i, t_next);
+    } else {
+        net.set_timer(i, 0.0, Msg::ProbeTick);
+    }
+}
+
 /// The simulated-network front-end: owns the transport (event queue,
 /// latency/loss model, outstanding-probe bookkeeping) while the
 /// [`Session`] owns the learning state. Advance it with
@@ -380,28 +505,22 @@ impl SimnetDriver {
         Ok(self.stats.measurements_completed - before)
     }
 
-    /// Fused-mode probe departing node `i` at (current or future) time
-    /// `tick_at`: draws the neighbor and schedules the round trip. A
-    /// lost exchange would break the probe chain, so it falls back to
-    /// a bare timer that keeps the probe clock ticking.
+    /// Fused-mode probe firing (shared with the sharded driver; see
+    /// [`fused_fire_probe`]).
     fn fire_fused_probe(&mut self, session: &mut Session, i: usize, tick_at: f64) {
-        let j = session.neighbors.sample_neighbor(i, &mut session.rng);
-        self.stats.probes_sent += 1;
-        if !self
-            .net
-            .roundtrip_at(i, j, tick_at, Msg::RttExchange { sent_at: tick_at })
-        {
-            let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
-            self.net
-                .set_timer_at(i, tick_at + self.probe_interval_s * jitter, Msg::ProbeTick);
-        }
+        fused_fire_probe(
+            &mut self.net,
+            session,
+            &mut self.stats,
+            self.probe_interval_s,
+            i,
+            tick_at,
+        );
     }
 
     /// Re-arms node `i`'s probe timer one jittered interval ahead.
     fn rearm_timer(&mut self, session: &mut Session, i: usize) {
-        let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
-        self.net
-            .set_timer(i, self.probe_interval_s * jitter, Msg::ProbeTick);
+        fused_rearm_timer(&mut self.net, session, self.probe_interval_s, i);
     }
 
     fn handle(&mut self, session: &mut Session, now: f64, from: usize, to: usize, msg: Msg) {
@@ -456,50 +575,19 @@ impl SimnetDriver {
                 self.net.send(to, from, Msg::RttReply { u, v });
             }
             Msg::RttExchange { sent_at } => {
-                // Fused steps 2–4 at node i: the round trip just
-                // completed; classify its duration and train against
-                // the target's (live) coordinates.
-                let i = to;
-                let j = from;
-                if !session.is_alive(i) {
-                    // Prober left with the exchange in flight: keep
-                    // the probe clock ticking for a future rejoin.
-                    self.rearm_timer(session, i);
-                    return;
-                }
-                if session.is_alive(j) {
-                    let rtt_ms = (now - sent_at) * 1000.0;
-                    let x = Metric::Rtt.classify(rtt_ms, self.tau);
-                    let params = session.config.sgd;
-                    // Disjoint borrows of prober and target (i ≠ j by
-                    // the neighbor-set invariant) avoid snapshot
-                    // copies.
-                    let (prober, target) = if i < j {
-                        let (lo, hi) = session.nodes.split_at_mut(j);
-                        (&mut lo[i], &hi[0])
-                    } else {
-                        let (lo, hi) = session.nodes.split_at_mut(i);
-                        (&mut hi[0], &lo[j])
-                    };
-                    prober.on_rtt_measurement(x, &target.coords.u, &target.coords.v, &params);
-                    session.measurements += 1;
-                    self.stats.measurements_completed += 1;
-                }
-                // Chain node i's next probe directly: one event per
-                // probe cycle instead of a separate timer tick. The
-                // next tick nominally fires at `sent_at + interval`,
-                // which lies beyond this completion whenever the probe
-                // interval exceeds one RTT (the Vivaldi-style regime);
-                // if a pathological config makes it land in the past,
-                // fall back to an immediate timer so the schedule only
-                // ever slips, never panics.
-                let jitter = 0.9 + 0.2 * session.rng.gen::<f64>();
-                let t_next = sent_at + self.probe_interval_s * jitter;
-                if t_next > now {
-                    self.fire_fused_probe(session, i, t_next);
-                } else {
-                    self.net.set_timer(i, 0.0, Msg::ProbeTick);
-                }
+                // Fused steps 2–4 at node i (shared with the sharded
+                // driver; see [`fused_on_exchange`]).
+                fused_on_exchange(
+                    &mut self.net,
+                    session,
+                    &mut self.stats,
+                    self.probe_interval_s,
+                    self.tau,
+                    now,
+                    to,
+                    from,
+                    sent_at,
+                );
             }
             Msg::RttReply { u, v } => {
                 // Steps 3–4 at node i: infer the RTT from the measured
@@ -724,22 +812,70 @@ pub(crate) fn batched_scores_into(nodes: &[DmfsgdNode], out: &mut Matrix) {
         return;
     }
     let r = nodes[0].coords.rank();
-    // Single-write packing (no zero-fill-then-overwrite). The three
-    // transient n×r scratch buffers (U, V, and matmul's rhsᵀ) are a
-    // ~1% overhead next to streaming the n×n output, so the reuse
-    // contract of the `_into` path targets the output matrix only.
-    let mut ud = Vec::with_capacity(n * r);
-    let mut vd = Vec::with_capacity(n * r);
+    // Fully allocation-free per call: all three operand views (U as
+    // `lhs`, V as `rhs`, the kernels' streamed Vᵀ as `rhs_t`) are
+    // packed into one reusable 64-byte-aligned thread-local scratch
+    // and handed to the packed kernel entry point. Repeated evaluation
+    // (convergence tracking, the perf suite) touches the allocator for
+    // nothing but the first call's `out` buffer.
+    dmf_linalg::simd::with_aligned_scratch(3 * n * r, |scratch| {
+        let (ud, rest) = scratch.split_at_mut(n * r);
+        let (vd, vt) = rest.split_at_mut(n * r);
+        for (i, node) in nodes.iter().enumerate() {
+            ud[i * r..(i + 1) * r].copy_from_slice(&node.coords.u);
+            vd[i * r..(i + 1) * r].copy_from_slice(&node.coords.v);
+        }
+        for k in 0..r {
+            for (i, row) in vd.chunks_exact(r).enumerate() {
+                vt[k * n + i] = row[k];
+            }
+        }
+        dmf_linalg::kernels::matmul_nt_packed_into(ud, vd, vt, n, r, n, out);
+    });
+    for i in 0..n {
+        out[(i, i)] = 0.0;
+    }
+}
+
+/// [`batched_scores_into`] through the typed-error matmul surface: a
+/// `u`/`v` rank mismatch comes back as [`DmfsgdError::Shape`], and a
+/// node whose ranks disagree with node 0's as
+/// [`DmfsgdError::Import`] — never a panic. On error `out` is left
+/// untouched. Valid sessions can't fail here, so the infallible
+/// packing above stays the hot path.
+pub(crate) fn try_batched_scores_into(
+    nodes: &[DmfsgdNode],
+    out: &mut Matrix,
+) -> Result<(), DmfsgdError> {
+    let n = nodes.len();
+    if n == 0 {
+        *out = Matrix::zeros(0, 0);
+        return Ok(());
+    }
+    let ru = nodes[0].coords.u.len();
+    let rv = nodes[0].coords.v.len();
+    for (i, node) in nodes.iter().enumerate() {
+        if node.coords.u.len() != ru || node.coords.v.len() != rv {
+            return Err(DmfsgdError::Import(format!(
+                "node {i} coordinate ranks ({}, {}) differ from node 0's ({ru}, {rv})",
+                node.coords.u.len(),
+                node.coords.v.len()
+            )));
+        }
+    }
+    let mut ud = Vec::with_capacity(n * ru);
+    let mut vd = Vec::with_capacity(n * rv);
     for node in nodes {
         ud.extend_from_slice(&node.coords.u);
         vd.extend_from_slice(&node.coords.v);
     }
-    let u = Matrix::from_vec(n, r, ud);
-    let v = Matrix::from_vec(n, r, vd);
-    u.matmul_nt_into(&v, out);
+    let u = Matrix::from_vec(n, ru, ud);
+    let v = Matrix::from_vec(n, rv, vd);
+    u.try_matmul_nt_into(&v, out)?;
     for i in 0..n {
         out[(i, i)] = 0.0;
     }
+    Ok(())
 }
 
 /// Fraction of ordered pairs on which an oracle-trained session and a
@@ -1269,5 +1405,57 @@ mod tests {
         let batched = runner.predicted_scores();
         let naive = runner.predicted_scores_naive();
         assert_eq!(batched, naive, "batched U·Vᵀ must equal per-pair dots");
+    }
+
+    #[test]
+    fn try_predicted_scores_matches_infallible_on_valid_sessions() {
+        let d = meridian_like(20, 3);
+        let tau = d.median();
+        let mut runner =
+            SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                .expect("valid");
+        runner.run_for(15.0).expect("run");
+        let want = runner.session().predicted_scores();
+        let got = runner
+            .session()
+            .try_predicted_scores()
+            .expect("valid shapes");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn try_predicted_scores_surfaces_shape_mismatch_as_typed_error() {
+        let mut session = crate::session::SessionBuilder::new()
+            .nodes(12)
+            .tau(60.0)
+            .build()
+            .expect("valid");
+        // Hand-corrupt one node's v rank: unreachable through imports
+        // (rank-validated), but exactly the inconsistency the fallible
+        // surface must catch instead of panicking.
+        let r = session.nodes[0].coords.v.len();
+        for node in &mut session.nodes {
+            node.coords.v = CoordVec::zeros(r + 2);
+        }
+        let mut out = Matrix::zeros(0, 0);
+        let err = session
+            .try_predicted_scores_into(&mut out)
+            .expect_err("u/v rank mismatch");
+        match err {
+            DmfsgdError::Shape(e) => {
+                assert_eq!(e.op, "matmul_nt");
+                assert_eq!(e.lhs.1, r, "lhs inner dim is the u rank");
+                assert_eq!(e.rhs.1, r + 2, "rhs inner dim is the corrupted v rank");
+            }
+            other => panic!("expected Shape error, got {other:?}"),
+        }
+        assert_eq!(out.rows(), 0, "output untouched on error");
+        // A per-node inconsistency (one node disagreeing with node 0)
+        // is an import-shaped inconsistency, also typed.
+        session.nodes[3].coords.v = CoordVec::zeros(r);
+        let err = session
+            .try_predicted_scores_into(&mut out)
+            .expect_err("per-node rank mismatch");
+        assert!(matches!(err, DmfsgdError::Import(_)), "got {err:?}");
     }
 }

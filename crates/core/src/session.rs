@@ -273,6 +273,26 @@ impl Session {
         crate::runner::batched_scores_into(&self.nodes, out);
     }
 
+    /// Fallible [`predicted_scores`](Self::predicted_scores): routes
+    /// the batched `U·Vᵀ` product through the typed-error matmul
+    /// surface, so a coordinate-shape inconsistency (e.g. hand-built
+    /// node state whose `u` and `v` ranks differ) surfaces as
+    /// [`DmfsgdError::Shape`] instead of a panic. The infallible
+    /// queries keep the assert — a valid session cannot hit it
+    /// (imports are rank-validated).
+    pub fn try_predicted_scores(&self) -> Result<Matrix, DmfsgdError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.try_predicted_scores_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`try_predicted_scores`](Self::try_predicted_scores) into an
+    /// existing matrix, reusing its allocation. On error the output is
+    /// left untouched.
+    pub fn try_predicted_scores_into(&self, out: &mut Matrix) -> Result<(), DmfsgdError> {
+        crate::runner::try_batched_scores_into(&self.nodes, out)
+    }
+
     /// Reference implementation of
     /// [`predicted_scores`](Self::predicted_scores): one per-pair dot
     /// at a time. Kept for the equivalence property tests.

@@ -1,0 +1,326 @@
+//! Fused-RTT execution over a sharded network — the 10k–100k-node
+//! front-end.
+//!
+//! [`ShardedSimnetDriver`] drives the same fused RTT protocol as
+//! [`SimnetDriver`](crate::runner::SimnetDriver) — literally the same
+//! code, via the crate-internal transport trait the fused handlers are
+//! generic over — but through a [`ShardedSimNet`], whose per-island
+//! delay tables keep memory linear in the population instead of
+//! quadratic. Two deliberate scope cuts against the full driver:
+//!
+//! * **RTT, fused fidelity only.** The per-message and ABW paths need
+//!   a ground-truth [`Dataset`](dmf_datasets::Dataset) at the target
+//!   (and the ABW prober measures against it), which is itself an
+//!   `n × n` object — the very thing sharding removes. The fused RTT
+//!   path measures the *simulated network itself*, so no dataset ever
+//!   materializes.
+//! * **No impairment hooks.** Scale workloads are partition-free;
+//!   [`ShardedSimNet`] does not expose partitions or stragglers.
+//!
+//! Determinism carries over unchanged: the sharded merge is
+//! event-order-identical to a single queue (pinned by
+//! `dmf-simnet/tests/shard_merge.rs`), the protocol draws from the
+//! session RNG in delivery order, and the SGD arithmetic is
+//! bitwise-pinned across SIMD dispatch paths.
+
+use crate::error::{ConfigError, DmfsgdError, MembershipError};
+use crate::runner::{fused_fire_probe, fused_on_exchange, fused_rearm_timer, Msg, RunnerStats};
+use crate::session::{Driver, Session};
+use dmf_simnet::ShardedSimNet;
+use rand::Rng;
+
+/// The sharded-network front-end of the [`Driver`] trait: owns a
+/// [`ShardedSimNet`] transport while the [`Session`] owns the learning
+/// state. Advance it with [`run_until`](Self::run_until) or through
+/// [`Driver::round`].
+pub struct ShardedSimnetDriver {
+    net: ShardedSimNet<Msg>,
+    tau: f64,
+    probe_interval_s: f64,
+    timers_seeded: bool,
+    quantum_s: f64,
+    stats: RunnerStats,
+}
+
+impl ShardedSimnetDriver {
+    /// Builds the driver over a pre-built sharded transport (construct
+    /// one with [`ShardedSimNet::from_delay_fn`] — typically from a
+    /// synthetic delay model, since at this scale no dense ground
+    /// truth exists). The classification threshold comes from the
+    /// session ([`SessionBuilder::tau`]).
+    ///
+    /// [`SessionBuilder::tau`]: crate::session::SessionBuilder::tau
+    pub fn new(session: &Session, net: ShardedSimNet<Msg>) -> Result<Self, DmfsgdError> {
+        let tau = session.tau().ok_or(ConfigError::MissingTau)?;
+        Self::with_tau(session, net, tau)
+    }
+
+    /// [`new`](Self::new) with an explicit threshold, overriding the
+    /// session's τ.
+    pub fn with_tau(
+        session: &Session,
+        net: ShardedSimNet<Msg>,
+        tau: f64,
+    ) -> Result<Self, DmfsgdError> {
+        ConfigError::check_tau(tau)?;
+        if net.len() != session.len() {
+            return Err(MembershipError::ProviderMismatch {
+                provider: net.len(),
+                session: session.len(),
+            }
+            .into());
+        }
+        Ok(Self {
+            net,
+            tau,
+            probe_interval_s: 1.0,
+            timers_seeded: false,
+            quantum_s: 10.0,
+            stats: RunnerStats::default(),
+        })
+    }
+
+    /// Sets the probe timer period (default 1 s).
+    pub fn with_probe_interval(mut self, seconds: f64) -> Result<Self, DmfsgdError> {
+        let valid = seconds.is_finite() && seconds > 0.0;
+        if !valid {
+            return Err(ConfigError::ProbeInterval { seconds }.into());
+        }
+        self.probe_interval_s = seconds;
+        Ok(self)
+    }
+
+    /// Sets the simulated seconds one [`Driver::round`] advances
+    /// (default 10 s).
+    pub fn with_quantum(mut self, seconds: f64) -> Result<Self, DmfsgdError> {
+        let valid = seconds.is_finite() && seconds > 0.0;
+        if !valid {
+            return Err(ConfigError::Duration { seconds }.into());
+        }
+        self.quantum_s = seconds;
+        Ok(self)
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> RunnerStats {
+        self.stats
+    }
+
+    /// Current simulated time (the timestamp of the last delivered
+    /// event; 0 before the first).
+    pub fn now(&self) -> f64 {
+        self.net.now()
+    }
+
+    /// The underlying transport (island layout, network stats, delay
+    /// table memory accounting).
+    pub fn net(&self) -> &ShardedSimNet<Msg> {
+        &self.net
+    }
+
+    /// Runs the protocol until simulated time `deadline_s`, starting
+    /// all probe timers at jittered offsets on the first call. Returns
+    /// the measurements completed during this call. Events scheduled
+    /// past `deadline_s` stay queued, exactly as in
+    /// [`SimnetDriver::run_until`](crate::runner::SimnetDriver::run_until).
+    pub fn run_until(
+        &mut self,
+        session: &mut Session,
+        deadline_s: f64,
+    ) -> Result<usize, DmfsgdError> {
+        if session.len() != self.net.len() {
+            return Err(MembershipError::ProviderMismatch {
+                provider: self.net.len(),
+                session: session.len(),
+            }
+            .into());
+        }
+        let before = self.stats.measurements_completed;
+        if !self.timers_seeded {
+            self.timers_seeded = true;
+            let n = self.net.len();
+            for i in 0..n {
+                let offset = session.rng.gen::<f64>() * self.probe_interval_s;
+                self.net.set_timer(i, offset, Msg::ProbeTick);
+            }
+        }
+        while let Some((now, delivery)) = self.net.next_delivery_before(deadline_s) {
+            match delivery.msg {
+                Msg::ProbeTick => {
+                    let i = delivery.to;
+                    if !session.is_alive(i) {
+                        fused_rearm_timer(&mut self.net, session, self.probe_interval_s, i);
+                        continue;
+                    }
+                    fused_fire_probe(
+                        &mut self.net,
+                        session,
+                        &mut self.stats,
+                        self.probe_interval_s,
+                        i,
+                        now,
+                    );
+                }
+                Msg::RttExchange { sent_at } => {
+                    fused_on_exchange(
+                        &mut self.net,
+                        session,
+                        &mut self.stats,
+                        self.probe_interval_s,
+                        self.tau,
+                        now,
+                        delivery.to,
+                        delivery.from,
+                        sent_at,
+                    );
+                }
+                // This driver only ever schedules ticks and fused
+                // exchanges; nothing else can come back out.
+                other => unreachable!("sharded driver delivered {other:?}"),
+            }
+        }
+        Ok(self.stats.measurements_completed - before)
+    }
+}
+
+impl std::fmt::Debug for ShardedSimnetDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimnetDriver")
+            .field("nodes", &self.net.len())
+            .field("islands", &self.net.islands())
+            .field("tau", &self.tau)
+            .field("probe_interval_s", &self.probe_interval_s)
+            .field("quantum_s", &self.quantum_s)
+            .field("now", &self.net.now())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Driver for ShardedSimnetDriver {
+    /// One round = one quantum of simulated time (see
+    /// [`with_quantum`](Self::with_quantum)).
+    fn round(&mut self, session: &mut Session) -> Result<usize, DmfsgdError> {
+        let deadline = self.net.now() + self.quantum_s;
+        self.run_until(session, deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmfsgdConfig;
+    use crate::runner::SimnetDriver;
+    use crate::session::SessionBuilder;
+    use dmf_datasets::rtt::meridian_like;
+    use dmf_simnet::NetConfig;
+
+    fn session(n: usize, seed: u64) -> Session {
+        let config = DmfsgdConfig {
+            seed,
+            ..DmfsgdConfig::paper_defaults()
+        };
+        SessionBuilder::from_config(config)
+            .nodes(n)
+            .tau(60.0)
+            .build()
+            .unwrap()
+    }
+
+    fn quiet(seed: u64) -> NetConfig {
+        NetConfig {
+            delay_jitter_sigma: 0.0,
+            seed,
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_driver_trains_and_reports_stats() {
+        let mut s = session(32, 9);
+        let net = ShardedSimNet::from_delay_fn(32, 4, quiet(1), |i, j| {
+            0.02 + 0.001 * ((i * 7 + j * 3) % 40) as f64
+        });
+        let mut driver = ShardedSimnetDriver::new(&s, net).unwrap();
+        let applied = driver.run_until(&mut s, 30.0).unwrap();
+        assert!(applied > 200, "fused probes every second: {applied}");
+        assert_eq!(driver.stats().measurements_completed, applied);
+        assert!(driver.stats().probes_sent >= applied);
+        assert!(driver.now() <= 30.0);
+        assert_eq!(s.measurements_used(), applied);
+    }
+
+    /// A 1-island sharded transport replays the single-net driver
+    /// bit-for-bit (same delays, no jitter/loss → no RNG divergence;
+    /// session RNG draws happen in identical delivery order). This is
+    /// the end-to-end leg of the merge-equivalence story: not just the
+    /// event order, but the learned coordinates match.
+    #[test]
+    fn one_island_matches_single_net_driver_bitwise() {
+        let d = meridian_like(24, 5);
+        let mut s_single = session(24, 4);
+        let mut s_sharded = session(24, 4);
+
+        let mut single = SimnetDriver::new(&s_single, d.clone(), quiet(2)).unwrap();
+        // Mirror `SimNet::from_rtt_dataset` exactly: known pairs take
+        // RTT/2, unknown pairs (incl. the diagonal) the default delay.
+        let default = quiet(2).default_one_way_delay_s;
+        let delay = |i: usize, j: usize| {
+            if d.mask.is_known(i, j) {
+                d.values[(i, j)] / 2.0 / 1000.0
+            } else {
+                default
+            }
+        };
+        let net = ShardedSimNet::from_delay_fn(24, 1, quiet(2), delay);
+        let mut sharded = ShardedSimnetDriver::new(&s_sharded, net).unwrap();
+
+        single.run_until(&mut s_single, 20.0).unwrap();
+        sharded.run_until(&mut s_sharded, 20.0).unwrap();
+
+        assert_eq!(
+            s_single.measurements_used(),
+            s_sharded.measurements_used(),
+            "same measurement count"
+        );
+        let a = s_single.predicted_scores();
+        let b = s_sharded.predicted_scores();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "coordinates diverged");
+        }
+    }
+
+    #[test]
+    fn driver_round_advances_one_quantum() {
+        let mut s = session(16, 1);
+        let net = ShardedSimNet::uniform(16, 4, 0.02, quiet(0));
+        let mut driver = ShardedSimnetDriver::new(&s, net)
+            .unwrap()
+            .with_quantum(5.0)
+            .unwrap();
+        let first = driver.round(&mut s).unwrap();
+        assert!(first > 0);
+        assert!(driver.now() <= 5.0);
+        driver.round(&mut s).unwrap();
+        assert!(driver.now() > 5.0 && driver.now() <= 10.0);
+    }
+
+    #[test]
+    fn population_mismatch_is_typed() {
+        let s = session(16, 0);
+        let net = ShardedSimNet::uniform(17, 3, 0.02, quiet(0));
+        let err = ShardedSimnetDriver::new(&s, net).unwrap_err();
+        assert!(matches!(
+            err,
+            DmfsgdError::Membership(MembershipError::ProviderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_accounting_is_linear_in_population() {
+        let net_small: ShardedSimNet<Msg> = ShardedSimNet::uniform(1000, 10, 0.02, quiet(0));
+        let net_big: ShardedSimNet<Msg> = ShardedSimNet::uniform(2000, 20, 0.02, quiet(0));
+        // Same island size → same per-node table cost.
+        assert_eq!(net_big.table_bytes(), 2 * net_small.table_bytes());
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end SIMD-dispatch determinism: a same-seed simulated run
+//! must be **byte-identical** whichever kernel path executes it.
+//!
+//! The kernel conformance suite (`dmf-linalg`) pins the primitives
+//! bitwise; this suite pins the consequence that actually matters for
+//! reproducibility — a whole protocol run (timers, probes, losses,
+//! SGD updates, snapshot encoding) replays exactly across the scalar
+//! reference, the portable unrolled path and the AVX2/AVX-512 paths.
+//! Combined
+//! with the `DMF_FORCE_SCALAR` environment knob, this is what lets CI
+//! compare a scalar leg against the native leg and demand equality.
+
+use dmf_core::runner::SimnetRunner;
+use dmf_core::{DmfsgdConfig, Session, SessionBuilder, ShardedSimnetDriver};
+use dmf_datasets::rtt::meridian_like;
+use dmf_linalg::simd::{self, Dispatch};
+use dmf_simnet::{NetConfig, ShardedSimNet};
+
+/// Paths to compare: the portable fallback always, AVX2 and AVX-512
+/// when the host has them (CI's scalar leg covers the reverse
+/// direction).
+fn paths() -> Vec<Dispatch> {
+    let mut p = vec![Dispatch::Portable];
+    if simd::avx2_available() {
+        p.push(Dispatch::Avx2);
+    }
+    if simd::avx512_available() {
+        p.push(Dispatch::Avx512);
+    }
+    p
+}
+
+fn with_path<T>(path: Dispatch, f: impl FnOnce() -> T) -> T {
+    simd::set_thread_override(Some(path));
+    let out = f();
+    simd::set_thread_override(None);
+    out
+}
+
+/// One small-but-real simulated run: jitter, loss, fused RTT, 40
+/// nodes, 30 simulated seconds. Returns every byte of observable
+/// state: the snapshot encoding plus the batched score matrix bits.
+fn run_simnet(seed: u64) -> (Vec<u8>, Vec<u64>) {
+    let dataset = meridian_like(40, seed);
+    let config = DmfsgdConfig {
+        seed,
+        ..DmfsgdConfig::paper_defaults()
+    };
+    let net = NetConfig {
+        loss_probability: 0.05,
+        seed,
+        ..NetConfig::default()
+    };
+    let runner = SimnetRunner::new(dataset, 60.0, config, net).unwrap();
+    let (mut session, mut driver) = runner.into_parts();
+    driver.run_until(&mut session, 30.0).unwrap();
+    collect(&session)
+}
+
+/// Same-seed scale run through the sharded driver (the 10k/100k code
+/// path, exercised here at a size CI can afford).
+fn run_sharded(seed: u64) -> (Vec<u8>, Vec<u64>) {
+    let config = DmfsgdConfig {
+        seed,
+        ..DmfsgdConfig::paper_defaults()
+    };
+    let mut session = SessionBuilder::from_config(config)
+        .nodes(48)
+        .tau(60.0)
+        .build()
+        .unwrap();
+    let net_cfg = NetConfig {
+        seed,
+        ..NetConfig::default()
+    };
+    let net = ShardedSimNet::from_delay_fn(48, 6, net_cfg, |i, j| {
+        0.015 + 0.0005 * ((i * 13 + j * 7) % 64) as f64
+    });
+    let mut driver = ShardedSimnetDriver::new(&session, net).unwrap();
+    driver.run_until(&mut session, 30.0).unwrap();
+    collect(&session)
+}
+
+fn collect(session: &Session) -> (Vec<u8>, Vec<u64>) {
+    let snapshot = session.snapshot().to_json();
+    let scores: Vec<u64> = session
+        .predicted_scores()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    (snapshot.into_bytes(), scores)
+}
+
+#[test]
+fn simnet_run_is_byte_identical_across_dispatch_paths() {
+    let runs: Vec<_> = paths()
+        .into_iter()
+        .map(|p| (p, with_path(p, || run_simnet(17))))
+        .collect();
+    let (_, reference) = &runs[0];
+    for (path, run) in &runs[1..] {
+        assert_eq!(
+            run.0, reference.0,
+            "{path:?}: snapshot bytes diverged from {:?}",
+            runs[0].0
+        );
+        assert_eq!(
+            run.1, reference.1,
+            "{path:?}: score bits diverged from {:?}",
+            runs[0].0
+        );
+    }
+    // And the run is self-reproducible on the same path (guards
+    // against accidental global state between runs).
+    let again = with_path(runs[0].0, || run_simnet(17));
+    assert_eq!(again, runs[0].1);
+}
+
+#[test]
+fn sharded_scale_run_is_byte_identical_across_dispatch_paths() {
+    let runs: Vec<_> = paths()
+        .into_iter()
+        .map(|p| (p, with_path(p, || run_sharded(23))))
+        .collect();
+    let (_, reference) = &runs[0];
+    for (path, run) in &runs[1..] {
+        assert_eq!(run.0, reference.0, "{path:?}: snapshot bytes diverged");
+        assert_eq!(run.1, reference.1, "{path:?}: score bits diverged");
+    }
+}
+
+/// The CI conformance leg's contract: `DMF_FORCE_SCALAR=1` pins the
+/// process default to the portable path. (The cached decision is
+/// process-wide, so this test only asserts the knob's parsing surface
+/// indirectly: forcing the scalar path via the thread override must
+/// agree with the reference on a live run — the env-var plumbing
+/// itself is covered by `dmf_linalg::simd` unit tests.)
+#[test]
+fn forced_scalar_equals_reference_on_live_run() {
+    let native = run_simnet(29);
+    let scalar = with_path(Dispatch::Portable, || run_simnet(29));
+    assert_eq!(native, scalar);
+}

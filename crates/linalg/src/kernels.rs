@@ -22,48 +22,84 @@ use std::ops::{Deref, DerefMut};
 /// shows small ranks suffice, so the spill path is cold).
 pub const MAX_INLINE_RANK: usize = 16;
 
-/// Dot product `Σ a[i]·b[i]`, fused-multiply-accumulated in index
-/// order: `acc ← fma(a[i], b[i], acc)`.
+/// Dot product `Σ a[i]·b[i]`, fused-multiply-accumulated in the
+/// **lane-split-4** order pinned by [`crate::simd`]: four interleaved
+/// fma chains (lane `c` takes the elements with index ≡ `c` mod 4),
+/// combined as `(acc₀+acc₂)+(acc₁+acc₃)`, then a sequential fma tail
+/// for the last `len mod 4` elements.
 ///
-/// The fused form costs one rounding per element instead of two (more
-/// accurate than separate mul+add) and maps to a single hardware
-/// instruction. The accumulation order is the contract: the batched
-/// [`crate::Matrix::matmul_nt`] evaluates the same chain per entry, so
-/// batched and per-pair score evaluation are bitwise identical.
+/// The fused form costs one rounding per element instead of two and
+/// maps to one `vfmadd` per four elements. The accumulation order is
+/// the contract: the batched [`crate::Matrix::matmul_nt`] evaluates
+/// the same chain per entry, so batched and per-pair score evaluation
+/// are bitwise identical — and so are the AVX2, portable and scalar
+/// dispatch paths (see [`crate::simd`] for the contract, its history
+/// and the quantified diff against the pre-SIMD sequential chain).
 ///
 /// # Panics
 /// Panics when the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "coordinate rank mismatch");
-    let Some((&a0, rest_a)) = a.split_first() else {
-        return 0.0;
-    };
-    let (&b0, rest_b) = b.split_first().expect("lengths equal");
-    // Initialize with the plain product (not fma-into-zero) so the
-    // chain matches matmul_nt's write-then-accumulate passes bit for
-    // bit, signed zeros included.
-    let mut acc = a0 * b0;
-    for i in 0..rest_a.len() {
-        acc = rest_a[i].mul_add(rest_b[i], acc);
-    }
-    acc
+    crate::simd::dot_dispatch(a, b)
 }
 
 /// Fused scale-and-axpy: `y[i] ← fma(beta, y[i], alpha·x[i])`.
 ///
 /// One pass over both slices — the whole SGD update (shrinkage plus
-/// gradient step) in a single kernel, element-independent so the
-/// compiler vectorizes it.
+/// gradient step) in a single kernel. Element-independent, so the
+/// AVX2 path in [`crate::simd`] is bitwise identical to the scalar
+/// loop (this contract is unchanged from the pre-SIMD kernels).
 ///
 /// # Panics
 /// Panics when the lengths differ.
 #[inline]
 pub fn axpby(y: &mut [f64], beta: f64, alpha: f64, x: &[f64]) {
     assert_eq!(y.len(), x.len(), "coordinate rank mismatch");
-    for i in 0..y.len() {
-        y[i] = beta.mul_add(y[i], alpha * x[i]);
+    crate::simd::axpby_dispatch(y, beta, alpha, x);
+}
+
+/// `out ← lhs · rhsᵀ` from caller-packed slices — the allocation-free
+/// twin of [`crate::Matrix::matmul_nt_into`] for callers that already
+/// hold the operands as flat row-major data (e.g. coordinates gathered
+/// from per-node storage into [`crate::simd::with_aligned_scratch`]).
+///
+/// * `lhs` is `rows × inner` row-major,
+/// * `rhs` is `cols × inner` row-major (the **un**transposed operand —
+///   the kernels read it for sub-tile column tails),
+/// * `rhs_t` is `inner × cols` row-major, i.e. `rhs` transposed. The
+///   tile kernels stream it with vector loads, so pack it into
+///   64-byte-aligned storage (see
+///   [`with_aligned_scratch`](crate::simd::with_aligned_scratch)) —
+///   an allocator-placed buffer can silently cost double-digit
+///   percent on cache-line-straddling loads.
+///
+/// `out` is resized to `rows × cols`, reusing its allocation. Bits are
+/// identical to [`crate::Matrix::matmul_nt`] — same dispatch, same
+/// lane-split-4 contract on every path.
+///
+/// # Panics
+/// Panics when a slice length disagrees with the stated shape.
+pub fn matmul_nt_packed_into(
+    lhs: &[f64],
+    rhs: &[f64],
+    rhs_t: &[f64],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    out: &mut crate::Matrix,
+) {
+    assert_eq!(lhs.len(), rows * inner, "lhs length vs rows×inner");
+    assert_eq!(rhs.len(), cols * inner, "rhs length vs cols×inner");
+    assert_eq!(rhs_t.len(), inner * cols, "rhs_t length vs inner×cols");
+    let mut data = out.take_data();
+    if inner == 0 {
+        data.clear();
+        data.resize(rows * cols, 0.0);
+    } else {
+        crate::simd::matmul_nt_dispatch(lhs, rhs, rhs_t, rows, inner, cols, &mut data);
     }
+    *out = crate::Matrix::from_vec(rows, cols, data);
 }
 
 /// A rank-`r` coordinate vector, inline for `r ≤ 16`.
@@ -203,16 +239,21 @@ mod tests {
     }
 
     #[test]
-    fn dot_is_bitwise_sequential_fma() {
-        // Must accumulate left-to-right as one fused chain:
-        // fma(a3, b3, fma(a2, b2, fma(a1, b1, fma(a0, b0, 0)))).
-        let a = [0.1f64, 0.2, 0.3, 0.4];
-        let b = [1.7f64, -2.3, 0.9, 4.1];
-        let mut acc = a[0] * b[0];
-        for i in 1..4 {
-            acc = a[i].mul_add(b[i], acc);
+    fn dot_is_bitwise_lane_split_4() {
+        // Contract v2 (re-pinned with the SIMD kernels): four
+        // interleaved fma chains, combined (acc0+acc2)+(acc1+acc3),
+        // sequential fma tail. See crate::simd for the rationale.
+        let a = [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6];
+        let b = [1.7f64, -2.3, 0.9, 4.1, -0.7, 2.2];
+        let mut acc = [0.0f64; 4];
+        for c in 0..4 {
+            acc[c] = a[c].mul_add(b[c], acc[c]);
         }
-        assert_eq!(dot(&a, &b).to_bits(), acc.to_bits());
+        let mut combined = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+        for k in 4..6 {
+            combined = a[k].mul_add(b[k], combined);
+        }
+        assert_eq!(dot(&a, &b).to_bits(), combined.to_bits());
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! * [`kernels`] — the allocation-free hot-path primitives: fused
 //!   [`kernels::dot`]/[`kernels::axpby`] and the inline [`CoordVec`]
 //!   coordinate type backing every per-measurement SGD update.
+//! * [`simd`] — the runtime-dispatched kernel implementations behind
+//!   [`kernels`] and [`Matrix::matmul_nt`]: an AVX2+FMA path, a
+//!   portable unrolled fallback, and the scalar reference they are
+//!   both bitwise-pinned against (the lane-split-4 accumulation
+//!   contract).
 //! * [`svd`] — singular value decomposition: an exact one-sided Jacobi
 //!   SVD for small/medium matrices and a randomized subspace iteration
 //!   for the top-k spectrum of large matrices (Figure 1 uses a
@@ -26,8 +31,9 @@
 //!   throughout the evaluation, plus Box–Muller normal sampling (the
 //!   `rand` crate alone does not ship a normal distribution).
 //!
-//! Everything is deterministic given a seed; the crate has no global
-//! state and no interior mutability.
+//! Everything is deterministic given a seed — including across SIMD
+//! dispatch paths, which are bitwise-identical by contract. The only
+//! global state is the cached kernel-dispatch decision in [`simd`].
 //!
 //! # Position in the workspace
 //!
@@ -37,16 +43,21 @@
 //! [`Mask`], `dmf-core` evaluates predictions into one, and
 //! `dmf-bench` regenerates the paper's Figure 1 from [`svd`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module carries the crate's
+// only `#[allow(unsafe_code)]`, scoped to the `std::arch` intrinsic
+// implementations behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decomp;
 pub mod kernels;
 pub mod mask;
 pub mod matrix;
+#[deny(missing_docs)]
+pub mod simd;
 pub mod stats;
 pub mod svd;
 
 pub use kernels::CoordVec;
 pub use mask::Mask;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, ShapeError};

@@ -172,22 +172,19 @@ impl Matrix {
     ///
     /// This is the batched form of evaluating all pairwise scores
     /// `u_i · v_j` at once: both operands are iterated row-major (no
-    /// strided column walks), and each entry accumulates over `k` in
-    /// ascending order through the same fused-multiply-add chain as
+    /// strided column walks), and each entry accumulates through the
+    /// same lane-split-4 fused-multiply-add chain as
     /// [`crate::kernels::dot`], so every entry is **bitwise identical**
     /// to the per-pair dot it replaces — only much faster, because the
-    /// `i`/`k`/`j` loop order streams `rhsᵀ` rows through SIMD fma
-    /// lanes instead of re-walking scattered vectors per pair.
+    /// blocked/tiled backend in [`crate::simd`] keeps eight
+    /// independent fma chains (AVX2 when the CPU has it, a portable
+    /// unrolled fallback otherwise) streaming over `rhsᵀ` rows.
     ///
     /// # Panics
     /// Panics when the column counts (the shared inner dimension)
-    /// disagree.
+    /// disagree. [`try_matmul_nt`](Self::try_matmul_nt) is the
+    /// non-panicking form for shapes that come from external input.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
         let mut out = Matrix::zeros(0, 0);
         self.matmul_nt_into(rhs, &mut out);
         out
@@ -197,12 +194,38 @@ impl Matrix {
     /// reusing its allocation. Evaluation loops that materialize the
     /// score matrix repeatedly (convergence tracking, the perf suite)
     /// avoid a large alloc/fault/free cycle per call this way.
+    ///
+    /// # Panics
+    /// Panics when the column counts disagree (see
+    /// [`try_matmul_nt_into`](Self::try_matmul_nt_into) for the typed
+    /// error). Internal callers that construct both operands keep this
+    /// asserting form.
     pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
+        if let Err(e) = self.try_matmul_nt_into(rhs, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking [`matmul_nt`](Self::matmul_nt): rejects a shape
+    /// mismatch with a typed [`ShapeError`] instead of asserting, for
+    /// callers whose operands come from external input (snapshots,
+    /// wire data, session queries).
+    pub fn try_matmul_nt(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.try_matmul_nt_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Non-panicking [`matmul_nt_into`](Self::matmul_nt_into). On
+    /// error `out` is left untouched.
+    pub fn try_matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
         let (rows, cols, inner) = (self.rows, rhs.rows, self.cols);
         let mut data = std::mem::take(&mut out.data);
         data.clear();
@@ -210,58 +233,35 @@ impl Matrix {
         if inner == 0 {
             data.resize(rows * cols, 0.0);
             *out = Matrix::from_vec(rows, cols, data);
-            return;
+            return Ok(());
         }
-        // Materialize rhsᵀ once (r × n, contiguous rows of length n) so
-        // the hot loop is a pure streaming accumulation.
-        let rhs_t = rhs.transpose();
-        // The k = 0 pass *writes* each output row (a plain product,
-        // matching kernels::dot's initialization), so the output
-        // buffer never needs a zeroing pass of its own. The remaining
-        // k are blocked eight (then four) at a time: each pass chains
-        // the fmas through registers — the row-wide loop provides the
-        // instruction-level parallelism — and every extra k per pass
-        // removes one read+write of the output row. The per-entry
-        // accumulation order (k ascending) — and therefore the bit
-        // patterns — never changes.
-        macro_rules! dispatch {
-            ($b:expr, $f:ident($($args:expr),*)) => {
-                match $b {
-                    1 => $f::<1>($($args),*),
-                    2 => $f::<2>($($args),*),
-                    3 => $f::<3>($($args),*),
-                    4 => $f::<4>($($args),*),
-                    5 => $f::<5>($($args),*),
-                    6 => $f::<6>($($args),*),
-                    7 => $f::<7>($($args),*),
-                    8 => $f::<8>($($args),*),
-                    other => unreachable!("block size {other} out of range"),
+        // Pack rhsᵀ once (r × n, contiguous rows of length n) so the
+        // hot loop is a pure streaming accumulation; the dispatcher
+        // picks the AVX2 or portable tile kernel. The pack goes into a
+        // 64-byte-aligned thread-local scratch: the tile kernels are
+        // load-bound on rhsᵀ, so its alignment must not be left to the
+        // allocator's mood (and the per-call transpose allocation
+        // disappears with it).
+        crate::simd::with_aligned_scratch(inner * cols, |rhs_t| {
+            for (j, row) in rhs.data.chunks_exact(inner).enumerate() {
+                for (k, &x) in row.iter().enumerate() {
+                    rhs_t[k * cols + j] = x;
                 }
-            };
-        }
-        for i in 0..rows {
-            let lhs_row = self.row(i);
-            let start = data.len();
-            // First pass appends product-initialized entries (no read,
-            // no zero-fill); later passes read-accumulate-write, up to
-            // eight ranks folded per pass.
-            let first = inner.min(8);
-            dispatch!(
-                first,
-                nt_init_pass(&lhs_row[..first], &rhs_t, &mut data, cols)
-            );
-            let out_row = &mut data[start..];
-            let mut k = first;
-            while k < inner {
-                let block = (inner - k).min(8);
-                dispatch!(
-                    block,
-                    nt_rw_pass(&lhs_row[k..k + block], &rhs_t, k, out_row)
-                );
-                k += block;
             }
-        }
+            crate::simd::matmul_nt_dispatch(
+                &self.data, &rhs.data, rhs_t, rows, inner, cols, &mut data,
+            );
+        });
         *out = Matrix::from_vec(rows, cols, data);
+        Ok(())
+    }
+
+    /// Moves the backing storage out (for in-crate buffer reuse),
+    /// leaving `self` as the 0×0 matrix.
+    pub(crate) fn take_data(&mut self) -> Vec<f64> {
+        self.rows = 0;
+        self.cols = 0;
+        std::mem::take(&mut self.data)
     }
 
     /// Elementwise map into a new matrix.
@@ -354,36 +354,34 @@ impl Matrix {
     }
 }
 
-/// One write-only `matmul_nt` pass: appends
-/// `chain(a[0]·r₀[j], …, a[B-1]·rᵦ[j])` for every column `j`
-/// (product-initialized, matching [`crate::kernels::dot`]).
-#[inline]
-fn nt_init_pass<const B: usize>(a: &[f64], rhs_t: &Matrix, data: &mut Vec<f64>, cols: usize) {
-    let a: &[f64; B] = a.try_into().expect("init block size");
-    let r: [&[f64]; B] = std::array::from_fn(|s| rhs_t.row(s));
-    data.extend((0..cols).map(|j| {
-        let mut acc = a[0] * r[0][j];
-        for s in 1..B {
-            acc = a[s].mul_add(r[s][j], acc);
-        }
-        acc
-    }));
+/// A typed shape mismatch from the non-panicking matrix products
+/// ([`Matrix::try_matmul_nt`] and friends).
+///
+/// The [`fmt::Display`] form reproduces the historical assert message
+/// (`"matmul_nt shape mismatch: …"`), which the panicking entry points
+/// format through — so legacy `#[should_panic(expected = …)]` callers
+/// keep working.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The operation that rejected the shapes (e.g. `"matmul_nt"`).
+    pub op: &'static str,
+    /// `(rows, cols)` of the left-hand operand.
+    pub lhs: (usize, usize),
+    /// `(rows, cols)` of the right-hand operand.
+    pub rhs: (usize, usize),
 }
 
-/// One read-accumulate-write `matmul_nt` pass over ranks
-/// `k0..k0 + B`, chaining the `B` fmas through a register.
-#[inline]
-fn nt_rw_pass<const B: usize>(a: &[f64], rhs_t: &Matrix, k0: usize, out_row: &mut [f64]) {
-    let a: &[f64; B] = a.try_into().expect("rw block size");
-    let r: [&[f64]; B] = std::array::from_fn(|s| rhs_t.row(k0 + s));
-    for (j, o) in out_row.iter_mut().enumerate() {
-        let mut acc = a[0].mul_add(r[0][j], *o);
-        for s in 1..B {
-            acc = a[s].mul_add(r[s][j], acc);
-        }
-        *o = acc;
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
     }
 }
+
+impl std::error::Error for ShapeError {}
 
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
@@ -553,6 +551,29 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 4);
         let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    fn try_matmul_nt_returns_typed_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let err = a.try_matmul_nt(&b).unwrap_err();
+        assert_eq!(
+            err,
+            ShapeError {
+                op: "matmul_nt",
+                lhs: (2, 3),
+                rhs: (2, 4),
+            }
+        );
+        assert_eq!(err.to_string(), "matmul_nt shape mismatch: 2x3 * (2x4)ᵀ");
+        // On error the destination is untouched.
+        let mut out = Matrix::filled(1, 1, 42.0);
+        assert!(a.try_matmul_nt_into(&b, &mut out).is_err());
+        assert_eq!(out, Matrix::filled(1, 1, 42.0));
+        // Matching shapes succeed and agree with the panicking form.
+        let c = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 * 0.25);
+        assert_eq!(a.try_matmul_nt(&c).unwrap(), a.matmul_nt(&c));
     }
 
     #[test]

@@ -426,6 +426,38 @@ impl<E> EventQueue<E> {
         Some(self.pop_from(lane))
     }
 
+    /// Full ordering key `(time bits, insertion seq)` of the next
+    /// event, without popping it. `pub(crate)`: the sharded merge in
+    /// [`crate::shard`] orders shard heads by exactly the key the
+    /// queue itself pops by, so the merged stream is the same total
+    /// order a single queue would produce.
+    pub(crate) fn peek_key(&self) -> Option<(u64, u64)> {
+        let key = match (self.near.peek(), self.far.peek(self.now)) {
+            (None, None) => return None,
+            (Some(n), None) => n,
+            (None, Some(f)) => f,
+            (Some(n), Some(f)) => {
+                if n.is_before(f) {
+                    n
+                } else {
+                    f
+                }
+            }
+        };
+        Some((key.time_bits, key.seq))
+    }
+
+    /// Overrides the next insertion sequence number. `pub(crate)`: the
+    /// sharded net threads one global counter through all shard queues
+    /// so same-time events across shards keep a total FIFO order.
+    ///
+    /// # Panics
+    /// Panics if `seq` would reuse an already-issued number.
+    pub(crate) fn set_next_seq(&mut self, seq: u64) {
+        assert!(seq >= self.next_seq, "seq counter cannot run backwards");
+        self.next_seq = seq;
+    }
+
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         let bits = match (self.near.peek(), self.far.peek(self.now)) {

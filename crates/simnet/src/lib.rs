@@ -16,6 +16,10 @@
 //!   pathload-style binary ABW class prober (UDP train at rate `τ`:
 //!   congestion or not), and a pathchirp-style coarse quantity prober
 //!   with underestimation bias (paper §3.1–3.2).
+//! * [`shard`] — [`shard::ShardedSimNet`], the same message model
+//!   split into per-island networks behind a deterministic
+//!   event-order merge, for 10k–100k-node populations where one
+//!   dense delay table stops fitting.
 //! * [`errors`] — the four erroneous-label models of §6.3 plus the
 //!   δ/p calibration that reproduces Table 3.
 //! * [`neighbors`] — random `k`-neighbor sets (the Vivaldi-style
@@ -37,7 +41,9 @@ pub mod event;
 pub mod neighbors;
 pub mod net;
 pub mod probe;
+pub mod shard;
 
 pub use event::{EventQueue, Lane, SimTime};
 pub use neighbors::NeighborSets;
 pub use net::{Delivery, NetConfig, SimNet};
+pub use shard::ShardedSimNet;

@@ -151,6 +151,25 @@ impl<M> SimNet<M> {
         Self::with_delays(n, vec![one_way_delay_s as f32; n * n], config)
     }
 
+    /// Builds a network whose one-way delays come from `delay_s(i, j)`
+    /// (seconds), evaluated in row-major order. This is the
+    /// dataset-free constructor: synthetic topologies (the 10k/100k
+    /// scale workloads) embed a delay model directly instead of
+    /// materializing an `n × n` ground-truth matrix first.
+    pub fn from_delay_fn(
+        n: usize,
+        config: NetConfig,
+        mut delay_s: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
+        let mut table = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                table.push(delay_s(i, j) as f32);
+            }
+        }
+        Self::with_delays(n, table, config)
+    }
+
     fn with_delays(n: usize, one_way_delay: Vec<f32>, config: NetConfig) -> Self {
         assert_eq!(one_way_delay.len(), n * n, "delay table shape mismatch");
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -485,6 +504,54 @@ impl<M> SimNet<M> {
     /// Number of queued *network* messages (timers excluded).
     pub fn pending_messages(&self) -> usize {
         self.in_flight_non_timer
+    }
+
+    /// Bytes held by the one-way delay table (the dominant fixed cost
+    /// of a simulated network; used for memory-per-node accounting in
+    /// the scale workloads).
+    pub fn table_bytes(&self) -> usize {
+        self.one_way_delay.len() * std::mem::size_of::<f32>()
+    }
+
+    // ---- shard plumbing (crate-internal) ----------------------------
+    //
+    // `ShardedSimNet` composes per-island `SimNet`s but owns the
+    // message model itself: deliveries carry *global* ids and must land
+    // in the destination's shard queue, so the shard layer needs raw
+    // access to each island's queue, delay table and RNG draws rather
+    // than the public `send`/`roundtrip` (which validate local ids and
+    // keep their own stats).
+
+    /// The island's event queue.
+    pub(crate) fn queue(&self) -> &EventQueue<Delivery<M>> {
+        &self.queue
+    }
+
+    /// The island's event queue, mutably.
+    pub(crate) fn queue_mut(&mut self) -> &mut EventQueue<Delivery<M>> {
+        &mut self.queue
+    }
+
+    /// Raw table delay for a *local* pair, in seconds (no straggler
+    /// factor, no jitter).
+    pub(crate) fn delay_s(&self, from: usize, to: usize) -> f64 {
+        f64::from(self.one_way_delay[from * self.n + to])
+    }
+
+    /// Draws one per-leg loss decision (no draw at all when the
+    /// network is loss-free, matching [`send`](Self::send)).
+    pub(crate) fn draw_loss(&mut self) -> bool {
+        self.config.loss_probability > 0.0 && self.rng.gen::<f64>() < self.config.loss_probability
+    }
+
+    /// Draws one multiplicative jitter factor (exactly `1.0`, with no
+    /// RNG draw, when jitter is disabled).
+    pub(crate) fn draw_jitter(&mut self) -> f64 {
+        if self.config.delay_jitter_sigma > 0.0 {
+            self.jitter.sample(&mut self.rng)
+        } else {
+            1.0
+        }
     }
 }
 

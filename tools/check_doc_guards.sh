@@ -21,6 +21,7 @@ GUARDS=(
   "crates/agent/src/lib.rs:driver"
   "crates/datasets/src/lib.rs:scenario"
   "crates/eval/src/lib.rs:window"
+  "crates/linalg/src/lib.rs:simd"
 )
 
 fail=0
