@@ -1,0 +1,89 @@
+//! Live UDP cluster under a configurable fault model.
+//!
+//! Runs a localhost DMFSGD deployment with every agent's outgoing
+//! datagrams routed through the seeded `dmf_proto` fault injector,
+//! then prints the recovery counters and the final ranking quality:
+//!
+//! ```text
+//! cargo run --release -p dmf-agent --example lossy_cluster
+//! cargo run --release -p dmf-agent --example lossy_cluster -- \
+//!     --drop-chance 0.3 --corrupt-chance 0.1 --nodes 32 --millis 4000
+//! cargo run --release -p dmf-agent --example lossy_cluster -- --v1
+//! ```
+//!
+//! The chance switches take probabilities in `[0, 1]`; defaults are
+//! the CI lossy profile (`FaultSpec::lossy()`: 20% drop plus a spread
+//! of corruption, duplication and reordering). `--v1` runs the legacy
+//! full-coordinate protocol for comparison — same faults, more bytes,
+//! no keyframe recovery.
+
+use dmf_agent::{ClusterConfig, UdpCluster};
+use dmf_eval::{collect_scores, roc::auc};
+use dmf_proto::{FaultSpec, WireVersion};
+use std::time::Duration;
+
+fn flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} wants a number, got {v:?}"))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nodes = flag(&args, "--nodes").unwrap_or(24.0) as usize;
+    let millis = flag(&args, "--millis").unwrap_or(3000.0) as u64;
+    let seed = flag(&args, "--seed").unwrap_or(11.0) as u64;
+    let base = FaultSpec::lossy();
+    let spec = FaultSpec {
+        drop: flag(&args, "--drop-chance").unwrap_or(base.drop),
+        truncate: flag(&args, "--truncate-chance").unwrap_or(base.truncate),
+        bit_flip: flag(&args, "--corrupt-chance").unwrap_or(base.bit_flip),
+        duplicate: flag(&args, "--duplicate-chance").unwrap_or(base.duplicate),
+        reorder: flag(&args, "--reorder-chance").unwrap_or(base.reorder),
+    };
+    let wire = if args.iter().any(|a| a == "--v1") {
+        WireVersion::V1
+    } else {
+        WireVersion::V2
+    };
+
+    let dataset = dmf_datasets::rtt::meridian_like(nodes, seed);
+    let tau = dataset.median();
+    let classes = dataset.classify(tau);
+
+    println!("lossy_cluster: {nodes} nodes, {millis} ms, wire {wire}, faults {spec:?}");
+    let outcome = UdpCluster::run(
+        dataset,
+        tau,
+        ClusterConfig {
+            duration: Duration::from_millis(millis),
+            probe_interval: Duration::from_millis(2),
+            wire,
+            faults: Some(spec),
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("cluster run");
+
+    let sum = |f: fn(&dmf_agent::AgentStats) -> u64| -> u64 { outcome.stats.iter().map(f).sum() };
+    println!("  probes sent        {}", sum(|s| s.probes_sent as u64));
+    println!("  updates applied    {}", sum(|s| s.updates_applied as u64));
+    println!("  retries            {}", sum(|s| s.retries as u64));
+    println!(
+        "  probes abandoned   {}",
+        sum(|s| s.probes_abandoned as u64)
+    );
+    println!("  evictions          {}", sum(|s| s.evictions as u64));
+    println!("  decode errors      {}", sum(|s| s.decode_errors as u64));
+    println!("  stale deltas       {}", sum(|s| s.stale_deltas as u64));
+    println!("  gaps detected      {}", sum(|s| s.gaps_detected));
+    println!("  keyframes sent     {}", sum(|s| s.keyframes_sent));
+    println!("  bytes sent         {}", outcome.total_bytes_sent());
+
+    let a = auc(&collect_scores(&classes, &outcome.predicted_scores()));
+    println!("  final AUC          {a:.3}");
+}

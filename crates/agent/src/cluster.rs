@@ -4,12 +4,20 @@
 //! distributes the address book and random neighbor sets, runs every
 //! agent on its own OS thread for a wall-clock budget, then joins the
 //! threads and returns the trained coordinates for evaluation.
+//!
+//! The harness can optionally route every agent's outgoing datagrams
+//! through a seeded [`FaultSpec`] (drop / duplicate / reorder /
+//! truncate / bit-flip), which is how the loss-hardening tests and
+//! `examples/lossy_cluster.rs` exercise the v2 recovery machinery
+//! end to end over real sockets.
 
 use crate::agent::{run_agent, AgentHandle, AgentStats};
 use crate::oracle::MeasurementOracle;
+use crate::transport::FaultySocket;
 use dmf_core::{ConfigError, DmfsgdConfig, DmfsgdError, DmfsgdNode, MembershipError};
 use dmf_datasets::Dataset;
 use dmf_linalg::Matrix;
+use dmf_proto::{FaultSpec, WireVersion};
 use dmf_simnet::NeighborSets;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -28,6 +36,16 @@ pub struct ClusterConfig {
     pub duration: Duration,
     /// Per-agent probe period.
     pub probe_interval: Duration,
+    /// Wire protocol version agents probe in (replies always follow
+    /// the probe's version, so mixed clusters interoperate).
+    pub wire: WireVersion,
+    /// Reply timeout before a probe is retransmitted.
+    pub probe_timeout: Duration,
+    /// Retransmissions allowed per probe before it is abandoned.
+    pub max_retries: u32,
+    /// Optional send-path fault model applied to every agent's
+    /// socket; `None` leaves the sockets untouched.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -36,6 +54,10 @@ impl Default for ClusterConfig {
             dmfsgd: DmfsgdConfig::paper_defaults(),
             duration: Duration::from_secs(2),
             probe_interval: Duration::from_millis(5),
+            wire: WireVersion::default(),
+            probe_timeout: Duration::from_millis(40),
+            max_retries: 2,
+            faults: None,
         }
     }
 }
@@ -63,6 +85,11 @@ impl ClusterOutcome {
     /// Total SGD updates applied across agents.
     pub fn total_updates(&self) -> usize {
         self.stats.iter().map(|s| s.updates_applied).sum()
+    }
+
+    /// Total application bytes sent across agents.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
     }
 }
 
@@ -152,30 +179,54 @@ impl UdpCluster {
         let io_err = |e: std::io::Error| DmfsgdError::Transport(e.to_string());
 
         // Bind all sockets first so the address book is complete
-        // before any agent starts.
+        // before any agent starts. The short read timeout is what
+        // keeps the agent loop responsive; failing to set it is a
+        // typed transport error, not a panic.
         let mut sockets = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
             let socket = UdpSocket::bind("127.0.0.1:0").map_err(io_err)?;
+            socket
+                .set_read_timeout(Some(Duration::from_millis(2)))
+                .map_err(io_err)?;
             addrs.push(socket.local_addr().map_err(io_err)?);
             sockets.push(socket);
         }
 
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::with_capacity(n);
+        // The handle construction is duplicated across the two arms
+        // because `AgentHandle<T>` is generic in its transport: one
+        // arm builds `AgentHandle<FaultySocket>`, the other
+        // `AgentHandle<UdpSocket>`.
+        macro_rules! spawn_agent {
+            ($socket:expr, $node:expr, $id:expr, $seed:expr) => {{
+                let handle = AgentHandle {
+                    node: $node,
+                    socket: $socket,
+                    peers: addrs.clone(),
+                    neighbors: neighbor_sets.neighbors($id).to_vec(),
+                    oracle: Arc::clone(&oracle),
+                    config: config.dmfsgd,
+                    stop: Arc::clone(&stop),
+                    probe_interval: config.probe_interval,
+                    wire: config.wire,
+                    probe_timeout: config.probe_timeout,
+                    max_retries: config.max_retries,
+                };
+                let seed = $seed;
+                thread::spawn(move || run_agent(handle, seed))
+            }};
+        }
         for (id, (socket, node)) in sockets.into_iter().zip(nodes).enumerate() {
-            let handle = AgentHandle {
-                node,
-                socket,
-                peers: addrs.clone(),
-                neighbors: neighbor_sets.neighbors(id).to_vec(),
-                oracle: Arc::clone(&oracle),
-                config: config.dmfsgd,
-                stop: Arc::clone(&stop),
-                probe_interval: config.probe_interval,
-            };
             let seed = config.dmfsgd.seed ^ ((id as u64) << 8) ^ 0xa9e1;
-            handles.push(thread::spawn(move || run_agent(handle, seed)));
+            handles.push(match config.faults {
+                Some(spec) if !spec.is_none() => {
+                    let faulty = FaultySocket::new(socket, spec, seed ^ 0xfa17_0000);
+                    spawn_agent!(faulty, node, id, seed)
+                }
+                _ => spawn_agent!(socket, node, id, seed),
+            });
         }
 
         thread::sleep(config.duration);
@@ -184,7 +235,7 @@ impl UdpCluster {
         let mut nodes = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
         for handle in handles {
-            let (node, agent_stats) = handle.join().expect("agent thread panicked");
+            let (node, agent_stats) = handle.join().expect("agent thread panicked")?;
             nodes.push(node);
             stats.push(agent_stats);
         }
@@ -247,6 +298,26 @@ mod tests {
     }
 
     #[test]
+    fn v1_cluster_still_learns() {
+        let d = meridian_like(16, 4);
+        let tau = d.median();
+        let cm = d.classify(tau);
+        let outcome = UdpCluster::run(
+            d,
+            tau,
+            ClusterConfig {
+                duration: Duration::from_millis(1500),
+                probe_interval: Duration::from_millis(2),
+                wire: WireVersion::V1,
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster run");
+        let a = auc(&collect_scores(&cm, &outcome.predicted_scores()));
+        assert!(a > 0.7, "v1 UDP cluster AUC {a}");
+    }
+
+    #[test]
     fn agents_report_stats() {
         let d = meridian_like(15, 3);
         let tau = d.median();
@@ -263,6 +334,69 @@ mod tests {
         assert_eq!(outcome.stats.len(), 15);
         for s in &outcome.stats {
             assert!(s.probes_sent > 0, "every agent must probe");
+            assert!(s.bytes_sent > 0, "every agent must send bytes");
+            assert!(s.bytes_received > 0, "every agent must receive bytes");
         }
+    }
+
+    #[test]
+    fn retries_and_eviction_under_total_loss() {
+        // Every outgoing datagram is dropped: no replies ever arrive,
+        // so probes must time out, retry with backoff, and the
+        // outstanding table must stay bounded via oldest-first
+        // eviction rather than growing (or being wholesale cleared).
+        let d = meridian_like(6, 5);
+        let tau = d.median();
+        let outcome = UdpCluster::run(
+            d,
+            tau,
+            ClusterConfig {
+                // k = 2 keeps the outstanding cap (4·k + 16) small
+                // enough for a short run to overflow it.
+                dmfsgd: DmfsgdConfig {
+                    k: 2,
+                    ..DmfsgdConfig::paper_defaults()
+                },
+                duration: Duration::from_millis(500),
+                probe_interval: Duration::from_millis(1),
+                probe_timeout: Duration::from_millis(4),
+                max_retries: 10,
+                faults: Some(FaultSpec {
+                    drop: 1.0,
+                    ..FaultSpec::none()
+                }),
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster run");
+        let retries: usize = outcome.stats.iter().map(|s| s.retries).sum();
+        let evictions: usize = outcome.stats.iter().map(|s| s.evictions).sum();
+        assert_eq!(outcome.total_updates(), 0, "nothing can get through");
+        assert!(retries > 0, "expected retransmissions under total loss");
+        assert!(evictions > 0, "expected oldest-first evictions at cap");
+    }
+
+    #[test]
+    fn abandoned_probes_are_counted() {
+        let d = meridian_like(12, 6);
+        let tau = d.median();
+        let outcome = UdpCluster::run(
+            d,
+            tau,
+            ClusterConfig {
+                duration: Duration::from_millis(300),
+                probe_interval: Duration::from_millis(2),
+                probe_timeout: Duration::from_millis(4),
+                max_retries: 0,
+                faults: Some(FaultSpec {
+                    drop: 1.0,
+                    ..FaultSpec::none()
+                }),
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster run");
+        let abandoned: usize = outcome.stats.iter().map(|s| s.probes_abandoned).sum();
+        assert!(abandoned > 0, "zero-retry probes must be abandoned");
     }
 }

@@ -14,7 +14,11 @@
 //!
 //! * [`oracle`] — the ground-truth measurement oracle.
 //! * [`agent`] — the per-node event loop (Algorithms 1 and 2 over
-//!   datagrams).
+//!   datagrams), speaking wire v1 or the loss-hardened delta v2.
+//! * [`transport`] — the [`Transport`] abstraction and
+//!   [`FaultySocket`], a UDP socket wrapped in `dmf_proto`'s seeded
+//!   fault injector (drop / duplicate / reorder / truncate /
+//!   bit-flip) for deterministic loss-hardening tests.
 //! * [`cluster`] — spawn-N-agents harness used by tests, examples and
 //!   benchmarks.
 //! * [`driver`] — [`UdpDriver`], the real-socket implementation of
@@ -39,7 +43,10 @@ pub mod cluster;
 #[deny(missing_docs)]
 pub mod driver;
 pub mod oracle;
+pub mod transport;
 
+pub use agent::{run_agent, AgentHandle, AgentStats};
 pub use cluster::{ClusterConfig, ClusterOutcome, UdpCluster};
 pub use driver::UdpDriver;
 pub use oracle::MeasurementOracle;
+pub use transport::{FaultySocket, Transport};

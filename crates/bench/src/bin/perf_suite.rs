@@ -8,7 +8,7 @@
 //! cargo run --release --bin perf_suite -- --compare BENCH_baseline.json
 //! ```
 
-use dmf_bench::experiments::perf;
+use dmf_bench::experiments::{perf, wire};
 use dmf_bench::report;
 use dmf_bench::{flag_value, Scale};
 
@@ -56,6 +56,24 @@ fn main() {
             r.n, r.islands, r.sim_seconds, r.events_per_sec, r.updates_per_sec, r.bytes_per_node,
             4 * r.n
         );
+    }
+
+    for r in &suite.wire_runs {
+        println!(
+            "wire {} n={} sim={}s: {:.1} bytes/probe-cycle ({} cycles, {} msgs, {} keyframes, {} gaps, AUC {:.3})",
+            r.version,
+            r.nodes,
+            r.sim_seconds,
+            r.bytes_per_probe_cycle,
+            r.probe_cycles,
+            r.messages_sent,
+            r.keyframes_sent,
+            r.gaps_detected,
+            r.final_auc
+        );
+    }
+    if let Some(ratio) = wire::compression_ratio(&suite.wire_runs) {
+        println!("wire v1/v2 bytes-per-cycle ratio: {ratio:.2}x");
     }
 
     let json = serde_json::to_string_pretty(&suite).expect("serialize perf report");

@@ -15,3 +15,4 @@ pub mod table2;
 pub mod table3;
 pub mod training;
 pub mod trio;
+pub mod wire;

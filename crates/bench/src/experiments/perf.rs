@@ -25,11 +25,14 @@
 //!
 //! The scale runs additionally persist a structured [`ScaleRun`]
 //! record (island layout, memory-per-node) in the report's
-//! `scale_runs` field.
+//! `scale_runs` field, and the wire-protocol byte accounting (v1 vs
+//! v2 `bytes_per_probe_cycle`; see [`wire`]) a [`WireRun`] pair in
+//! `wire_runs`.
 
 use crate::experiments::scale::Scale;
 use crate::experiments::scale_sim::{self, ScaleRun};
 use crate::experiments::training::default_config;
+use crate::experiments::wire::{self, WireRun};
 use dmf_core::provider::ClassLabelProvider;
 use dmf_core::runner::SimnetRunner;
 use dmf_core::SessionBuilder;
@@ -41,8 +44,9 @@ use std::time::Instant;
 
 /// Bump when the JSON layout changes incompatibly (comparison scripts
 /// key on this). v2: the `scale_runs` field (sharded 10k/100k
-/// workload) became part of the record.
-pub const SCHEMA_VERSION: u32 = 2;
+/// workload) became part of the record. v3: the `wire_runs` field
+/// (v1-vs-v2 bytes-per-probe-cycle accounting) joined it.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Simulated seconds the Meridian simnet workload runs for.
 const MERIDIAN_SIM_DURATION_S: f64 = 600.0;
@@ -99,6 +103,11 @@ pub struct PerfReport {
     /// Structured records for the sharded scale runs (schema v2; the
     /// flat `scale_*` metrics are derived from these).
     pub scale_runs: Vec<ScaleRun>,
+    /// Wire-protocol byte accounting, one record per protocol version
+    /// (schema v3). `wire_runs[v1].bytes_per_probe_cycle /
+    /// wire_runs[v2].bytes_per_probe_cycle` is the tracked
+    /// compression ratio the CI gate pins at ≥ 3.
+    pub wire_runs: Vec<WireRun>,
 }
 
 impl PerfReport {
@@ -251,12 +260,16 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
         scale_runs.push(run);
     }
 
+    // -- wire: v1-vs-v2 bytes-per-probe-cycle accounting --------------
+    let wire_runs = wire::run(scale, scale_name(scale));
+
     PerfReport {
         schema_version: SCHEMA_VERSION,
         scale: scale_name(scale).to_string(),
         label: label.to_string(),
         metrics,
         scale_runs,
+        wire_runs,
     }
 }
 
@@ -307,11 +320,19 @@ mod tests {
         // a dense 10k×10k table would cost.
         assert_eq!(r.table_bytes, 40 * 250 * 250 * 4);
         assert!(r.bytes_per_node < 1_024.0);
+        // The wire pair rides every report, and the ratio the CI gate
+        // checks must clear its floor already at quick scale.
+        assert_eq!(report.wire_runs.len(), 2);
+        assert_eq!(report.wire_runs[0].version, "v1");
+        assert_eq!(report.wire_runs[1].version, "v2");
+        let ratio = wire::compression_ratio(&report.wire_runs).expect("pair present");
+        assert!(ratio >= 3.0, "wire compression ratio {ratio:.2}");
     }
 
-    /// The scale workload is a deliberate schema break (v1 → v2): v1
-    /// reports lack `scale_runs` and must fail loudly at parse time
-    /// rather than silently comparing against a truncated record —
+    /// Schema breaks are deliberate and loud: reports from before the
+    /// scale workload (v1, no `scale_runs`) or before the wire
+    /// accounting (v2, no `wire_runs`) must fail at parse time rather
+    /// than silently comparing against a truncated record —
     /// `perf_suite --compare` additionally checks `schema_version`.
     #[test]
     fn pre_scale_reports_are_rejected() {
@@ -320,6 +341,11 @@ mod tests {
             "elapsed_s":1.0,"per_sec":1.0}]}"#;
         let err = serde_json::from_str::<PerfReport>(v1).unwrap_err();
         assert!(err.to_string().contains("scale_runs"), "{err}");
+
+        let v2 = r#"{"schema_version":2,"scale":"quick","label":"old",
+            "metrics":[],"scale_runs":[]}"#;
+        let err = serde_json::from_str::<PerfReport>(v2).unwrap_err();
+        assert!(err.to_string().contains("wire_runs"), "{err}");
     }
 
     #[test]

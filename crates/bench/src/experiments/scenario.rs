@@ -29,6 +29,7 @@ use dmf_datasets::{ClassMatrix, Condition, ScenarioSpec};
 use dmf_eval::window::window_stats;
 use dmf_eval::ScoredLabel;
 use dmf_linalg::Matrix;
+use dmf_proto::WireVersion;
 use dmf_simnet::NetConfig;
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +122,11 @@ pub struct ScenarioCase {
     pub spec: ScenarioSpec,
     /// Floor the final window's AUC must clear in CI.
     pub auc_floor: f64,
+    /// When set, the scenario runs in driver wire mode: every
+    /// protocol leg travels as encoded `dmf-proto` datagrams of this
+    /// version (the loss-hardening scenarios gate the v2 delta
+    /// protocol this way). `None` uses the native enum transport.
+    pub wire: Option<WireVersion>,
 }
 
 /// The tracked scenario registry. Every entry runs 600 simulated
@@ -143,6 +149,7 @@ pub fn registry(scale: &Scale) -> Vec<ScenarioCase> {
             // Control: the paper's stationary regime, windowed.
             spec: spec("baseline-stationary", 101),
             auc_floor: 0.85,
+            wire: None,
         },
         ScenarioCase {
             // Continuous re-embedding: 40% of nodes migrate across the
@@ -154,6 +161,7 @@ pub fn registry(scale: &Scale) -> Vec<ScenarioCase> {
                 max_shift_ms: 35.0,
             }),
             auc_floor: 0.82,
+            wire: None,
         },
         ScenarioCase {
             // A two-minute congestion storm quadruples RTTs between
@@ -165,6 +173,7 @@ pub fn registry(scale: &Scale) -> Vec<ScenarioCase> {
                 factor: 4.0,
             }),
             auc_floor: 0.82,
+            wire: None,
         },
         ScenarioCase {
             // A routing step permanently detours 20% of pairs at the
@@ -175,6 +184,7 @@ pub fn registry(scale: &Scale) -> Vec<ScenarioCase> {
                 factor: 2.2,
             }),
             auc_floor: 0.80,
+            wire: None,
         },
         ScenarioCase {
             // The hard one: a third of the population is partitioned
@@ -199,6 +209,7 @@ pub fn registry(scale: &Scale) -> Vec<ScenarioCase> {
                     max_shift_ms: 50.0,
                 }),
             auc_floor: 0.80,
+            wire: None,
         },
         ScenarioCase {
             // Membership churn while the topology drifts and 10% of
@@ -221,6 +232,22 @@ pub fn registry(scale: &Scale) -> Vec<ScenarioCase> {
                     delay_factor: 3.0,
                 }),
             auc_floor: 0.75,
+            wire: None,
+        },
+        ScenarioCase {
+            // Protocol-level robustness gate: a four-minute 50%
+            // probe-loss epoch with every message traveling as real
+            // v2 delta-protocol bytes. Class prediction must hold at
+            // parity with the native-transport scenarios — loss
+            // degrades to gaps, keyframes and extra bytes, never to
+            // wrong coordinates.
+            spec: spec("loss-wire-v2", 107).with(Condition::ProbeLoss {
+                start_s: 180.0,
+                end_s: 420.0,
+                probability: 0.5,
+            }),
+            auc_floor: 0.80,
+            wire: Some(WireVersion::V2),
         },
     ]
 }
@@ -264,6 +291,9 @@ pub fn run_case(case: &ScenarioCase) -> ScenarioQuality {
     .expect("scenario substrate matches the session")
     .with_probe_interval(PROBE_INTERVAL_S)
     .expect("positive probe interval");
+    if let Some(version) = case.wire {
+        driver = driver.with_wire_version(version);
+    }
 
     // Stragglers are a static property of the run.
     for (node, factor) in scenario.impairments_at(0.0).stragglers {
@@ -400,7 +430,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_names_are_the_tracked_six() {
+    fn registry_names_are_the_tracked_seven() {
         let names: Vec<String> = registry(&Scale::quick())
             .into_iter()
             .map(|c| c.spec.name)
@@ -414,7 +444,43 @@ mod tests {
                 "routing-change",
                 "partition-loss",
                 "churn-under-drift",
+                "loss-wire-v2",
             ]
+        );
+    }
+
+    #[test]
+    fn loss_wire_v2_scenario_clears_its_floor() {
+        let cases = registry(&Scale::quick());
+        let case = cases
+            .iter()
+            .find(|c| c.spec.name == "loss-wire-v2")
+            .expect("registry has the wire scenario");
+        assert_eq!(case.wire, Some(WireVersion::V2));
+        let q = run_case(case);
+        assert_eq!(q.windows.len(), 20);
+        assert!(
+            q.pass,
+            "v2 wire protocol under 50% probe loss must hold the floor: \
+             final AUC {} < {}",
+            q.final_auc, q.auc_floor
+        );
+        // The loss epoch [180, 420) must actually bite throughput.
+        let in_epoch: usize = q
+            .windows
+            .iter()
+            .filter(|w| w.t_start_s >= 180.0 && w.t_end_s <= 420.0)
+            .map(|w| w.measurements)
+            .sum::<usize>();
+        let clear: usize = q
+            .windows
+            .iter()
+            .filter(|w| w.t_end_s <= 180.0)
+            .map(|w| w.measurements)
+            .sum::<usize>();
+        assert!(
+            in_epoch < clear * 2,
+            "50% loss over twice the clear span must not double throughput"
         );
     }
 

@@ -1,0 +1,145 @@
+//! Tracked wire-cost experiment: bytes per probe cycle, v1 vs v2.
+//!
+//! The delta protocol (`dmf_proto` v2) exists to shrink the per-probe
+//! byte footprint: instead of shipping full f64 coordinate vectors
+//! every message, nodes send f16 keyframes and quantized i8 deltas
+//! against the receiver's last-acknowledged state. This module runs
+//! the same Meridian workload through [`SimnetRunner`] in wire mode
+//! once per protocol version and records a [`WireRun`] pair in
+//! `BENCH.json` (schema v3, the `wire_runs` field), so the headline
+//! `bytes_per_probe_cycle` number — and the v1/v2 compression ratio —
+//! is tracked across PRs like every other perf metric.
+//!
+//! The workload is fixed-work per [`Scale`] preset (population ×
+//! simulated seconds, hard-coded seeds), and both versions face the
+//! byte-identical simulated network, so the ratio is a pure protocol
+//! property rather than an artifact of probe scheduling.
+
+use crate::experiments::scale::Scale;
+use crate::experiments::training::default_config;
+use dmf_core::runner::SimnetRunner;
+use dmf_datasets::rtt::meridian_like;
+use dmf_eval::{collect_scores, roc::auc};
+use dmf_proto::WireVersion;
+use dmf_simnet::NetConfig;
+use serde::{Deserialize, Serialize};
+
+/// Dataset / config seed shared by both versions, so the only
+/// difference between the two runs is the bytes on the wire.
+const WIRE_SEED: u64 = 41;
+
+/// Population and simulated duration per preset. Quick stays small
+/// enough for the CI smoke; paper uses the Harvard-sized population.
+fn wire_workload(scale_name: &str) -> (usize, f64) {
+    match scale_name {
+        "paper" => (226, 600.0),
+        "standard" => (120, 300.0),
+        _ => (40, 150.0),
+    }
+}
+
+/// One wire-mode run: byte accounting for a single protocol version.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireRun {
+    /// Protocol version label ("v1" / "v2").
+    pub version: String,
+    /// Population of the Meridian-like dataset.
+    pub nodes: usize,
+    /// Simulated seconds the cluster ran for.
+    pub sim_seconds: f64,
+    /// Completed probe cycles (measurement round-trips).
+    pub probe_cycles: usize,
+    /// Datagrams sent across all nodes.
+    pub messages_sent: u64,
+    /// Total wire bytes sent across all nodes.
+    pub bytes_sent: u64,
+    /// The headline metric: `bytes_sent / probe_cycles`.
+    pub bytes_per_probe_cycle: f64,
+    /// Keyframes the encoders emitted (v2 only; 0 on v1).
+    pub keyframes_sent: u64,
+    /// Sequence gaps the decoders observed (v2 only; 0 on v1).
+    pub gaps_detected: u64,
+    /// Final ranking quality, guarding against a protocol that is
+    /// cheap because it stopped carrying information.
+    pub final_auc: f64,
+}
+
+/// Runs one protocol version over the preset workload.
+fn run_one(version: WireVersion, n: usize, k: usize, sim_seconds: f64) -> WireRun {
+    let d = meridian_like(n, WIRE_SEED);
+    let tau = d.median();
+    let cm = d.classify(tau);
+    let mut runner = SimnetRunner::new(d, tau, default_config(k, WIRE_SEED), NetConfig::default())
+        .expect("experiment config is valid")
+        .with_wire_version(version);
+    runner.run_for(sim_seconds).expect("positive duration");
+    let cycles = runner.stats().measurements_completed;
+    let ws = runner.wire_stats();
+    WireRun {
+        version: version.to_string(),
+        nodes: n,
+        sim_seconds,
+        probe_cycles: cycles,
+        messages_sent: ws.messages_sent,
+        bytes_sent: ws.bytes_sent,
+        bytes_per_probe_cycle: ws.bytes_sent as f64 / (cycles as f64).max(1.0),
+        keyframes_sent: ws.keyframes_sent,
+        gaps_detected: ws.gaps_detected,
+        final_auc: auc(&collect_scores(&cm, &runner.predicted_scores())),
+    }
+}
+
+/// Runs both protocol versions at `scale` (v1 first, then v2).
+pub fn run(scale: &Scale, scale_name: &str) -> Vec<WireRun> {
+    let (n, sim_seconds) = wire_workload(scale_name);
+    let k = scale.k_meridian.min(n / 2);
+    [WireVersion::V1, WireVersion::V2]
+        .into_iter()
+        .map(|v| run_one(v, n, k, sim_seconds))
+        .collect()
+}
+
+/// v1-over-v2 bytes-per-probe-cycle ratio; `None` when either run is
+/// missing. This is the number the CI perf gate pins at ≥ 3.
+pub fn compression_ratio(runs: &[WireRun]) -> Option<f64> {
+    let v1 = runs.iter().find(|r| r.version == "v1")?;
+    let v2 = runs.iter().find(|r| r.version == "v2")?;
+    Some(v1.bytes_per_probe_cycle / v2.bytes_per_probe_cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v2_is_at_least_three_times_cheaper_and_still_learns() {
+        let runs = run(&Scale::quick(), "quick");
+        assert_eq!(runs.len(), 2);
+        let ratio = compression_ratio(&runs).expect("both versions present");
+        assert!(
+            ratio >= 3.0,
+            "v1/v2 bytes-per-cycle ratio {ratio:.2} below the 3x floor"
+        );
+        for r in &runs {
+            assert!(r.probe_cycles > 0, "{}: no cycles completed", r.version);
+            assert!(r.bytes_sent > 0, "{}: no bytes accounted", r.version);
+            assert!(
+                r.final_auc > 0.7,
+                "{}: AUC {} too low",
+                r.version,
+                r.final_auc
+            );
+        }
+        let v2 = &runs[1];
+        assert_eq!(v2.version, "v2");
+        assert!(v2.keyframes_sent > 0, "v2 must emit keyframes");
+        assert_eq!(runs[0].keyframes_sent, 0, "v1 has no keyframe machinery");
+    }
+
+    #[test]
+    fn ratio_requires_both_versions() {
+        let runs = run(&Scale::quick(), "quick");
+        assert!(compression_ratio(&runs[..1]).is_none());
+        assert!(compression_ratio(&runs[1..]).is_none());
+    }
+}

@@ -22,6 +22,7 @@ fn quick_suite_clears_every_floor() {
             "routing-change",
             "partition-loss",
             "churn-under-drift",
+            "loss-wire-v2",
         ]
     );
     for s in &report.scenarios {

@@ -303,6 +303,12 @@ pub enum MembershipError {
     },
     /// The trace is not sorted by timestamp.
     TraceNotTimeOrdered,
+    /// An agent was handed an empty neighbor set — it would have
+    /// nobody to probe (see `dmf-agent`'s `run_agent`).
+    NoNeighbors {
+        /// The agent's node id.
+        id: NodeId,
+    },
 }
 
 impl fmt::Display for MembershipError {
@@ -330,6 +336,7 @@ impl fmt::Display for MembershipError {
                 )
             }
             MembershipError::TraceNotTimeOrdered => write!(f, "trace must be time-ordered"),
+            MembershipError::NoNeighbors { id } => write!(f, "agent {id} has no neighbors"),
         }
     }
 }

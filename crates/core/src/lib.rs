@@ -93,7 +93,7 @@ pub use coords::{CoordVec, Coordinates};
 pub use error::{ConfigError, DmfsgdError, MembershipError, NodeId, SnapshotError};
 pub use loss::Loss;
 pub use node::DmfsgdNode;
-pub use runner::{ExchangeFidelity, SimnetDriver, SimnetRunner};
+pub use runner::{ExchangeFidelity, SimnetDriver, SimnetRunner, WireStats};
 pub use session::{Driver, OracleDriver, Session, SessionBuilder};
 pub use sharded::ShardedSimnetDriver;
 pub use snapshot::Snapshot;

@@ -42,9 +42,14 @@ use crate::node::DmfsgdNode;
 use crate::session::{Driver, Session, SessionBuilder};
 use dmf_datasets::{Dataset, Metric};
 use dmf_linalg::Matrix;
+use dmf_proto::{
+    decode_any, encode, encode_v2, ContextError, DecoderContext, EncoderContext, Message,
+    MessageV2, WireMessage, WireVersion,
+};
 use dmf_simnet::probe::PathloadProber;
 use dmf_simnet::{NetConfig, SimNet};
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Protocol messages exchanged by DMFSGD nodes.
 #[derive(Clone, Debug, PartialEq)]
@@ -79,8 +84,31 @@ pub enum Msg {
         /// Simulated send time of the probe (seconds).
         sent_at: f64,
     },
+    /// An encoded `dmf-proto` datagram (wire mode, see
+    /// [`SimnetDriver::with_wire_version`]): the exact bytes a real
+    /// agent would put on the network, decoded at delivery.
+    Wire(Vec<u8>),
     /// Per-node probe timer.
     ProbeTick,
+}
+
+/// Byte-level statistics of a wire-mode run (see
+/// [`SimnetDriver::with_wire_version`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Datagrams handed to the transport (probes, replies, both
+    /// directions).
+    pub messages_sent: u64,
+    /// Total encoded bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Datagrams that failed to decode or carried a wrong rank.
+    pub decode_errors: u64,
+    /// v2 deltas dropped because their baseline was no longer held.
+    pub stale_deltas: u64,
+    /// Sequence gaps observed across all per-pair decoder contexts.
+    pub gaps_detected: u64,
+    /// Keyframes sent across all per-pair encoder contexts.
+    pub keyframes_sent: u64,
 }
 
 /// How the driver executes an RTT probe/reply exchange.
@@ -268,6 +296,17 @@ pub struct SimnetDriver {
     /// Simulated seconds one [`Driver::round`] advances.
     quantum_s: f64,
     stats: RunnerStats,
+    /// When set, every protocol leg travels as encoded `dmf-proto`
+    /// bytes ([`Msg::Wire`]) in this version instead of native enum
+    /// payloads.
+    wire: Option<WireVersion>,
+    wire_nonce: u64,
+    /// v2 coordinate-stream state, keyed `(me, peer)`: encoders for
+    /// streams this node sends toward the peer, decoders for streams
+    /// received from it.
+    enc_ctxs: HashMap<(usize, usize), EncoderContext>,
+    dec_ctxs: HashMap<(usize, usize), DecoderContext>,
+    wire_stats: WireStats,
 }
 
 impl SimnetDriver {
@@ -320,6 +359,11 @@ impl SimnetDriver {
             timers_seeded: false,
             quantum_s: 10.0,
             stats: RunnerStats::default(),
+            wire: None,
+            wire_nonce: 0,
+            enc_ctxs: HashMap::new(),
+            dec_ctxs: HashMap::new(),
+            wire_stats: WireStats::default(),
         })
     }
 
@@ -351,9 +395,31 @@ impl SimnetDriver {
         self
     }
 
+    /// Routes every protocol leg through the real `dmf-proto` codec:
+    /// probes and replies travel as encoded datagrams ([`Msg::Wire`])
+    /// in `version`, decoded at delivery, with v2 runs maintaining
+    /// per-pair encoder/decoder contexts exactly like the UDP agents.
+    /// Implies per-message event flow — the fused RTT shortcut never
+    /// applies, since every leg must be a datagram to be counted in
+    /// [`wire_stats`](Self::wire_stats).
+    pub fn with_wire_version(mut self, version: WireVersion) -> Self {
+        self.wire = Some(version);
+        self
+    }
+
     /// Run statistics.
     pub fn stats(&self) -> RunnerStats {
         self.stats
+    }
+
+    /// Byte-level statistics of a wire-mode run (all zeros unless
+    /// [`with_wire_version`](Self::with_wire_version) was set), with
+    /// gap/keyframe counters folded in from the per-pair contexts.
+    pub fn wire_stats(&self) -> WireStats {
+        let mut s = self.wire_stats;
+        s.gaps_detected = self.dec_ctxs.values().map(|d| d.gaps_detected()).sum();
+        s.keyframes_sent = self.enc_ctxs.values().map(|e| e.keyframes_sent()).sum();
+        s
     }
 
     /// Current simulated time (the timestamp of the last delivered
@@ -523,6 +589,269 @@ impl SimnetDriver {
         fused_rearm_timer(&mut self.net, session, self.probe_interval_s, i);
     }
 
+    /// Counts and sends one encoded datagram through the simnet.
+    fn send_wire(&mut self, from: usize, to: usize, bytes: Vec<u8>) {
+        self.wire_stats.messages_sent += 1;
+        self.wire_stats.bytes_sent += bytes.len() as u64;
+        self.net.send(from, to, Msg::Wire(bytes));
+    }
+
+    /// Wire-mode probe firing at node `i`: draw the neighbor, encode
+    /// the probe in the configured version, remember the RTT pending
+    /// entry, and put the bytes on the (lossy, delayed) network.
+    fn fire_wire_probe(&mut self, session: &mut Session, version: WireVersion, i: usize, now: f64) {
+        let j = session.neighbors.sample_neighbor(i, &mut session.rng);
+        self.stats.probes_sent += 1;
+        self.wire_nonce += 1;
+        let nonce = self.wire_nonce;
+        let bytes = match (version, self.dataset.metric) {
+            (WireVersion::V1, Metric::Rtt) => encode(&Message::RttProbe { nonce }).to_vec(),
+            (WireVersion::V2, Metric::Rtt) => {
+                let ack = self.dec_ctxs.get(&(i, j)).and_then(|d| d.ack());
+                encode_v2(&MessageV2::RttProbe {
+                    nonce: nonce as u32,
+                    ack,
+                })
+                .to_vec()
+            }
+            (WireVersion::V1, Metric::Abw) => encode(&Message::AbwProbe {
+                nonce,
+                rate_mbps: self.tau,
+                u: session.nodes[i].coords.u.to_vec(),
+            })
+            .to_vec(),
+            (WireVersion::V2, Metric::Abw) => {
+                let ack = self.dec_ctxs.get(&(i, j)).and_then(|d| d.ack());
+                let update = self
+                    .enc_ctxs
+                    .entry((i, j))
+                    .or_default()
+                    .encode(&session.nodes[i].coords.u.to_vec());
+                encode_v2(&MessageV2::AbwProbe {
+                    nonce: nonce as u32,
+                    rate_mbps: self.tau,
+                    ack,
+                    update,
+                })
+                .to_vec()
+            }
+        };
+        if self.dataset.metric == Metric::Rtt {
+            // Same slot-per-target bookkeeping as the native path:
+            // re-probing restarts the timestamp, so a stale entry can
+            // never pair with a fresh reply.
+            let pending = &mut self.pending_rtt[i];
+            match pending.iter_mut().find(|(target, _)| *target == j) {
+                Some(entry) => entry.1 = now,
+                None => pending.push((j, now)),
+            }
+        }
+        self.send_wire(i, j, bytes);
+    }
+
+    /// Applies a v2 update through the `(me, peer)` decoder context,
+    /// mapping context errors onto the wire statistics. `None` means
+    /// the update was dropped (stale baseline or rank mismatch) —
+    /// recovery rides the next ack's `want_keyframe`.
+    fn apply_update(
+        &mut self,
+        me: usize,
+        peer: usize,
+        update: &dmf_proto::CoordUpdate,
+    ) -> Option<Vec<f64>> {
+        match self.dec_ctxs.entry((me, peer)).or_default().apply(update) {
+            Ok(coords) => Some(coords),
+            Err(ContextError::StaleBaseline { .. }) => {
+                self.wire_stats.stale_deltas += 1;
+                None
+            }
+            Err(ContextError::RankMismatch { .. }) => {
+                self.wire_stats.decode_errors += 1;
+                None
+            }
+        }
+    }
+
+    /// Wire-mode dispatch: decode the datagram and run the same
+    /// Algorithm 1/2 steps as the native handlers, through the codec
+    /// (v1) or the codec plus per-pair contexts (v2). Mirrors the UDP
+    /// agent's dispatch; replies always use the version the probe
+    /// spoke.
+    fn handle_wire(
+        &mut self,
+        session: &mut Session,
+        now: f64,
+        from: usize,
+        to: usize,
+        bytes: &[u8],
+    ) {
+        if !session.is_alive(to) {
+            return;
+        }
+        let msg = match decode_any(bytes) {
+            Ok(msg) => msg,
+            Err(_) => {
+                self.wire_stats.decode_errors += 1;
+                return;
+            }
+        };
+        let rank = session.config.rank;
+        let params = session.config.sgd;
+        match msg {
+            WireMessage::V1(Message::RttProbe { nonce }) => {
+                let (u, v) = session.nodes[to].rtt_reply();
+                let reply = encode(&Message::RttReply {
+                    nonce,
+                    u: u.to_vec(),
+                    v: v.to_vec(),
+                })
+                .to_vec();
+                self.send_wire(to, from, reply);
+            }
+            WireMessage::V1(Message::RttReply { u, v, .. }) => {
+                if u.len() != rank || v.len() != rank {
+                    self.wire_stats.decode_errors += 1;
+                    return;
+                }
+                self.complete_rtt_cycle(session, now, to, from, &u, &v);
+            }
+            WireMessage::V1(Message::AbwProbe { nonce, u, .. }) => {
+                if u.len() != rank {
+                    self.wire_stats.decode_errors += 1;
+                    return;
+                }
+                let Some(x) = self.abw_prober.probe_class(
+                    &self.dataset,
+                    from,
+                    to,
+                    self.tau,
+                    &mut session.rng,
+                ) else {
+                    return;
+                };
+                let v = session.nodes[to].on_abw_probe(x, &u, &params);
+                let reply = encode(&Message::AbwReply {
+                    nonce,
+                    x,
+                    v: v.to_vec(),
+                })
+                .to_vec();
+                self.send_wire(to, from, reply);
+            }
+            WireMessage::V1(Message::AbwReply { x, v, .. }) => {
+                if v.len() != rank {
+                    self.wire_stats.decode_errors += 1;
+                    return;
+                }
+                session.nodes[to].on_abw_reply(x, &v, &params);
+                session.measurements += 1;
+                self.stats.measurements_completed += 1;
+            }
+            WireMessage::V2(MessageV2::RttProbe { nonce, ack }) => {
+                let enc = self.enc_ctxs.entry((to, from)).or_default();
+                if let Some(ack) = ack {
+                    enc.on_ack(ack);
+                }
+                // One update block carries u ‖ v under one sequence.
+                let (u, v) = session.nodes[to].rtt_reply();
+                let mut coords = u.to_vec();
+                coords.extend_from_slice(&v.to_vec());
+                let update = enc.encode(&coords);
+                let reply = encode_v2(&MessageV2::RttReply { nonce, update }).to_vec();
+                self.send_wire(to, from, reply);
+            }
+            WireMessage::V2(MessageV2::RttReply { update, .. }) => {
+                let Some(coords) = self.apply_update(to, from, &update) else {
+                    return;
+                };
+                if coords.len() != 2 * rank {
+                    self.wire_stats.decode_errors += 1;
+                    return;
+                }
+                let (u, v) = coords.split_at(rank);
+                self.complete_rtt_cycle(session, now, to, from, u, v);
+            }
+            WireMessage::V2(MessageV2::AbwProbe {
+                nonce, ack, update, ..
+            }) => {
+                if let Some(ack) = ack {
+                    self.enc_ctxs.entry((to, from)).or_default().on_ack(ack);
+                }
+                let Some(u) = self.apply_update(to, from, &update) else {
+                    return;
+                };
+                if u.len() != rank {
+                    self.wire_stats.decode_errors += 1;
+                    return;
+                }
+                let reply_ack = self.dec_ctxs.get(&(to, from)).and_then(|d| d.ack());
+                let Some(x) = self.abw_prober.probe_class(
+                    &self.dataset,
+                    from,
+                    to,
+                    self.tau,
+                    &mut session.rng,
+                ) else {
+                    return;
+                };
+                let v = session.nodes[to].on_abw_probe(x, &u, &params);
+                let update = self
+                    .enc_ctxs
+                    .entry((to, from))
+                    .or_default()
+                    .encode(&v.to_vec());
+                let reply = encode_v2(&MessageV2::AbwReply {
+                    nonce,
+                    x,
+                    ack: reply_ack,
+                    update,
+                })
+                .to_vec();
+                self.send_wire(to, from, reply);
+            }
+            WireMessage::V2(MessageV2::AbwReply { x, ack, update, .. }) => {
+                if let Some(ack) = ack {
+                    self.enc_ctxs.entry((to, from)).or_default().on_ack(ack);
+                }
+                let Some(v) = self.apply_update(to, from, &update) else {
+                    return;
+                };
+                if v.len() != rank {
+                    self.wire_stats.decode_errors += 1;
+                    return;
+                }
+                session.nodes[to].on_abw_reply(x, &v, &params);
+                session.measurements += 1;
+                self.stats.measurements_completed += 1;
+            }
+        }
+    }
+
+    /// RTT steps 3–4 at the prober in wire mode: pair the reply with
+    /// its pending probe, infer the RTT from the exchange's simulated
+    /// timing, classify at τ, and train.
+    fn complete_rtt_cycle(
+        &mut self,
+        session: &mut Session,
+        now: f64,
+        i: usize,
+        j: usize,
+        u: &[f64],
+        v: &[f64],
+    ) {
+        let pending = &mut self.pending_rtt[i];
+        let Some(pos) = pending.iter().position(|&(target, _)| target == j) else {
+            return; // duplicate or stale reply
+        };
+        let (_, sent_at) = pending.swap_remove(pos);
+        let rtt_ms = (now - sent_at) * 1000.0;
+        let x = Metric::Rtt.classify(rtt_ms, self.tau);
+        let params = session.config.sgd;
+        session.nodes[i].on_rtt_measurement(x, u, v, &params);
+        session.measurements += 1;
+        self.stats.measurements_completed += 1;
+    }
+
     fn handle(&mut self, session: &mut Session, now: f64, from: usize, to: usize, msg: Msg) {
         match msg {
             Msg::ProbeTick => {
@@ -531,6 +860,11 @@ impl SimnetDriver {
                 // cheap self-event per interval) so a rejoined slot
                 // resumes probing without external re-seeding.
                 if !session.is_alive(i) {
+                    self.rearm_timer(session, i);
+                    return;
+                }
+                if let Some(version) = self.wire {
+                    self.fire_wire_probe(session, version, i, now);
                     self.rearm_timer(session, i);
                     return;
                 }
@@ -564,6 +898,7 @@ impl SimnetDriver {
                 // Re-arm the timer.
                 self.rearm_timer(session, i);
             }
+            Msg::Wire(bytes) => self.handle_wire(session, now, from, to, &bytes),
             Msg::RttProbe => {
                 // Step 2 at node j: reply with coordinates (departed
                 // nodes answer no probes; the prober's pending entry
@@ -649,6 +984,7 @@ impl std::fmt::Debug for SimnetDriver {
             .field("probe_interval_s", &self.probe_interval_s)
             .field("fidelity", &self.fidelity)
             .field("quantum_s", &self.quantum_s)
+            .field("wire", &self.wire)
             .field("now", &self.net.now())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
@@ -709,6 +1045,19 @@ impl SimnetRunner {
     pub fn with_exchange_fidelity(mut self, fidelity: ExchangeFidelity) -> Self {
         self.driver = self.driver.with_exchange_fidelity(fidelity);
         self
+    }
+
+    /// Routes every protocol leg through the real `dmf-proto` codec
+    /// (see [`SimnetDriver::with_wire_version`]).
+    pub fn with_wire_version(mut self, version: WireVersion) -> Self {
+        self.driver = self.driver.with_wire_version(version);
+        self
+    }
+
+    /// Byte-level statistics of a wire-mode run (see
+    /// [`SimnetDriver::wire_stats`]).
+    pub fn wire_stats(&self) -> WireStats {
+        self.driver.wire_stats()
     }
 
     /// The underlying session (live coordinates, membership, queries).
@@ -1392,6 +1741,107 @@ mod tests {
             healed > during,
             "healing must raise the measurement rate ({during} during vs {healed} after)"
         );
+    }
+
+    #[test]
+    fn wire_v2_learns_and_is_deterministic() {
+        let build = || {
+            let d = meridian_like(30, 21);
+            let tau = d.median();
+            let cm = d.classify(tau);
+            let mut runner =
+                SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                    .expect("valid")
+                    .with_probe_interval(0.5)
+                    .expect("positive interval")
+                    .with_wire_version(WireVersion::V2);
+            runner.run_for(150.0).expect("run");
+            let acc = sign_accuracy(&runner, &cm);
+            (acc, runner.wire_stats(), runner.predicted_scores())
+        };
+        let (acc, stats, scores) = build();
+        assert!(acc > 0.7, "wire-v2 accuracy {acc}");
+        assert!(stats.bytes_sent > 0 && stats.messages_sent > 0);
+        assert!(stats.keyframes_sent > 0, "cadence must send keyframes");
+        assert_eq!(stats.decode_errors, 0, "clean simnet, no corruption");
+        let (_, stats2, scores2) = build();
+        assert_eq!(scores, scores2, "wire mode must stay deterministic");
+        assert_eq!(stats, stats2, "wire stats must stay deterministic");
+    }
+
+    #[test]
+    fn wire_v2_survives_loss_with_gap_recovery() {
+        let d = meridian_like(30, 22);
+        let tau = d.median();
+        let cm = d.classify(tau);
+        let mut runner = SimnetRunner::new(
+            d,
+            tau,
+            DmfsgdConfig::paper_defaults(),
+            NetConfig {
+                loss_probability: 0.3,
+                ..NetConfig::default()
+            },
+        )
+        .expect("valid")
+        .with_probe_interval(0.5)
+        .expect("positive interval")
+        .with_wire_version(WireVersion::V2);
+        runner.run_for(200.0).expect("run");
+        let acc = sign_accuracy(&runner, &cm);
+        assert!(acc > 0.65, "lossy wire-v2 accuracy {acc}");
+        let stats = runner.wire_stats();
+        assert!(stats.gaps_detected > 0, "30% loss must surface as gaps");
+        assert!(stats.keyframes_sent > 0, "gaps must trigger keyframes");
+    }
+
+    #[test]
+    fn wire_v2_spends_far_fewer_bytes_than_v1() {
+        // The headline robustness/efficiency claim at the driver
+        // level: same workload, same learning outcome, ≥ 3× fewer
+        // bytes per completed probe cycle on the delta protocol.
+        let run_with = |version: WireVersion| {
+            let d = meridian_like(30, 23);
+            let tau = d.median();
+            let cm = d.classify(tau);
+            let mut runner =
+                SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                    .expect("valid")
+                    .with_probe_interval(0.5)
+                    .expect("positive interval")
+                    .with_wire_version(version);
+            runner.run_for(150.0).expect("run");
+            let cycles = runner.stats().measurements_completed as f64;
+            let per_cycle = runner.wire_stats().bytes_sent as f64 / cycles;
+            (sign_accuracy(&runner, &cm), per_cycle)
+        };
+        let (acc_v1, bytes_v1) = run_with(WireVersion::V1);
+        let (acc_v2, bytes_v2) = run_with(WireVersion::V2);
+        assert!(acc_v1 > 0.7, "wire-v1 accuracy {acc_v1}");
+        assert!(acc_v2 > 0.7, "wire-v2 accuracy {acc_v2}");
+        let ratio = bytes_v1 / bytes_v2;
+        assert!(
+            ratio >= 3.0,
+            "v2 must cut bytes/cycle ≥ 3×: v1 {bytes_v1:.1} vs v2 {bytes_v2:.1} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn wire_mode_abw_learns_both_versions() {
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let d = hps3_like(30, 24);
+            let tau = d.median();
+            let cm = d.classify(tau);
+            let mut runner =
+                SimnetRunner::new(d, tau, DmfsgdConfig::paper_defaults(), NetConfig::default())
+                    .expect("valid")
+                    .with_probe_interval(0.5)
+                    .expect("positive interval")
+                    .with_wire_version(version);
+            runner.run_for(150.0).expect("run");
+            let acc = sign_accuracy(&runner, &cm);
+            assert!(acc > 0.65, "ABW wire-{version} accuracy {acc}");
+        }
     }
 
     #[test]

@@ -1,24 +1,74 @@
-//! Encoding and decoding of protocol messages.
+//! Encoding and decoding of protocol messages (v1 and v2).
 //!
 //! Every decode path is total: malformed, truncated, corrupted or
 //! hostile datagrams produce a [`DecodeError`], never a panic or an
-//! unbounded allocation. This mirrors the fault-injection discipline
-//! of production TCP/IP stacks (cf. the smoltcp examples, which ship
-//! `--corrupt-chance` switches precisely to exercise these paths).
+//! unbounded allocation. These paths are exercised end-to-end by the
+//! seeded fault-injection harness in [`crate::fault`] — see
+//! `examples/lossy_cluster.rs`, which runs a live UDP cluster through
+//! 20% drop plus corruption — and by the mutation-fuzz proptests in
+//! `tests/mutation_fuzz.rs`.
+//!
+//! Version negotiation happens on the header byte at offset 2:
+//! [`decode_any`] dispatches to the v1 or v2 parser, so a v2 node
+//! stays able to decode (and answer) v1 peers.
 
+use crate::context::Ack;
+use crate::delta::{
+    f16_from_f64, f16_is_finite, f16_to_f64, CoordUpdate, UpdatePayload, MAX_BLOCK,
+};
 use crate::message::Message;
+use crate::message_v2::MessageV2;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Protocol magic (little-endian on the wire).
 pub const MAGIC: u16 = 0xD3F5;
-/// Protocol version this crate speaks.
+/// Protocol version 1 (full f64 coordinates).
 pub const VERSION: u8 = 1;
+/// Protocol version 2 (quantized delta/keyframe coordinates).
+pub const VERSION_V2: u8 = 2;
 /// Upper bound on coordinate rank accepted from the network.
 pub const MAX_RANK: usize = 256;
-/// Header length in bytes (magic + version + type + payload_len).
+/// v1 header length in bytes (magic + version + type + payload_len u32).
 pub const HEADER_LEN: usize = 8;
+/// v2 header length in bytes (magic + version + type + payload_len u16).
+pub const HEADER_LEN_V2: usize = 6;
 /// Trailing checksum length.
 pub const CHECKSUM_LEN: usize = 4;
+
+/// Which protocol version a sender speaks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WireVersion {
+    /// Version 1: plain f64 coordinate vectors.
+    V1,
+    /// Version 2: delta/keyframe quantized updates (default).
+    #[default]
+    V2,
+}
+
+impl WireVersion {
+    /// The version byte this variant puts on the wire.
+    pub fn header_byte(self) -> u8 {
+        match self {
+            WireVersion::V1 => VERSION,
+            WireVersion::V2 => VERSION_V2,
+        }
+    }
+}
+
+impl std::fmt::Display for WireVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.header_byte())
+    }
+}
+
+/// A successfully decoded datagram of either protocol version.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMessage {
+    /// A protocol-v1 message.
+    V1(Message),
+    /// A protocol-v2 message.
+    V2(MessageV2),
+}
 
 /// Why a datagram was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -248,6 +298,331 @@ pub fn decode(datagram: &[u8]) -> Result<Message, DecodeError> {
     Ok(msg)
 }
 
+// ---------------------------------------------------------------- v2
+
+/// Message flag bits (v2): ack present / ack requests a keyframe.
+const FLAG_HAS_ACK: u8 = 0b01;
+const FLAG_WANT_KEYFRAME: u8 = 0b10;
+/// Update-block flag bit (v2): payload is a keyframe, not a delta.
+const FLAG_KEYFRAME: u8 = 0b01;
+
+fn put_ack_flags(buf: &mut BytesMut, ack: Option<Ack>) {
+    match ack {
+        None => buf.put_u8(0),
+        Some(ack) => {
+            let mut flags = FLAG_HAS_ACK;
+            if ack.want_keyframe {
+                flags |= FLAG_WANT_KEYFRAME;
+            }
+            buf.put_u8(flags);
+            buf.put_u16_le(ack.seq);
+        }
+    }
+}
+
+fn put_update(buf: &mut BytesMut, update: &CoordUpdate) {
+    let rank = update.rank();
+    assert!(
+        (1..=MAX_BLOCK).contains(&rank),
+        "update rank {rank} outside 1..={MAX_BLOCK}"
+    );
+    match &update.payload {
+        UpdatePayload::Keyframe { coords } => {
+            buf.put_u8(FLAG_KEYFRAME);
+            buf.put_u16_le(update.seq);
+            buf.put_u16_le(coords.len() as u16);
+            for &c in coords {
+                buf.put_u16_le(f16_from_f64(c));
+            }
+        }
+        UpdatePayload::Delta {
+            base_seq,
+            scale,
+            quants,
+        } => {
+            buf.put_u8(0);
+            buf.put_u16_le(update.seq);
+            buf.put_u16_le(*base_seq);
+            buf.put_u16_le(f16_from_f64(*scale));
+            buf.put_u16_le(quants.len() as u16);
+            for &q in quants {
+                buf.put_i8(q);
+            }
+        }
+    }
+}
+
+/// Encodes a v2 message into a standalone datagram.
+///
+/// # Panics
+/// Panics if an update block is empty or exceeds
+/// [`MAX_BLOCK`] values, or if an `RttReply`
+/// block has odd rank (it must carry `u ‖ v`) — internal programming
+/// errors, not network conditions.
+pub fn encode_v2(msg: &MessageV2) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    match msg {
+        MessageV2::RttProbe { nonce, ack } => {
+            payload.put_u32_le(*nonce);
+            put_ack_flags(&mut payload, *ack);
+        }
+        MessageV2::RttReply { nonce, update } => {
+            assert!(
+                update.rank() % 2 == 0,
+                "RttReply update must carry u ‖ v (even rank, got {})",
+                update.rank()
+            );
+            payload.put_u32_le(*nonce);
+            put_update(&mut payload, update);
+        }
+        MessageV2::AbwProbe {
+            nonce,
+            rate_mbps,
+            ack,
+            update,
+        } => {
+            payload.put_u32_le(*nonce);
+            put_ack_flags(&mut payload, *ack);
+            payload.put_f32_le(*rate_mbps as f32);
+            put_update(&mut payload, update);
+        }
+        MessageV2::AbwReply {
+            nonce,
+            x,
+            ack,
+            update,
+        } => {
+            payload.put_u32_le(*nonce);
+            put_ack_flags(&mut payload, *ack);
+            payload.put_i8(if *x >= 0.0 { 1 } else { -1 });
+            put_update(&mut payload, update);
+        }
+    }
+
+    debug_assert!(payload.len() <= u16::MAX as usize);
+    let mut out = BytesMut::with_capacity(HEADER_LEN_V2 + payload.len() + CHECKSUM_LEN);
+    out.put_u16_le(MAGIC);
+    out.put_u8(VERSION_V2);
+    out.put_u8(msg.type_tag());
+    out.put_u16_le(payload.len() as u16);
+    out.extend_from_slice(&payload);
+    let checksum = fnv1a(&out);
+    out.put_u32_le(checksum);
+    out.freeze()
+}
+
+fn get_ack_flags(payload: &mut &[u8]) -> Result<Option<Ack>, DecodeError> {
+    if payload.remaining() < 1 {
+        return Err(DecodeError::TruncatedPayload);
+    }
+    let flags = payload.get_u8();
+    if flags & !(FLAG_HAS_ACK | FLAG_WANT_KEYFRAME) != 0 {
+        return Err(DecodeError::BadValue);
+    }
+    if flags & FLAG_HAS_ACK == 0 {
+        // A want_keyframe bit without an ack is malformed.
+        if flags & FLAG_WANT_KEYFRAME != 0 {
+            return Err(DecodeError::BadValue);
+        }
+        return Ok(None);
+    }
+    if payload.remaining() < 2 {
+        return Err(DecodeError::TruncatedPayload);
+    }
+    Ok(Some(Ack {
+        seq: payload.get_u16_le(),
+        want_keyframe: flags & FLAG_WANT_KEYFRAME != 0,
+    }))
+}
+
+fn get_update(payload: &mut &[u8]) -> Result<CoordUpdate, DecodeError> {
+    if payload.remaining() < 3 {
+        return Err(DecodeError::TruncatedPayload);
+    }
+    let flags = payload.get_u8();
+    if flags & !FLAG_KEYFRAME != 0 {
+        return Err(DecodeError::BadValue);
+    }
+    let seq = payload.get_u16_le();
+
+    let get_rank = |payload: &mut &[u8]| -> Result<usize, DecodeError> {
+        if payload.remaining() < 2 {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        let rank = payload.get_u16_le() as usize;
+        if rank == 0 || rank > MAX_BLOCK {
+            return Err(DecodeError::BadRank);
+        }
+        Ok(rank)
+    };
+
+    if flags & FLAG_KEYFRAME != 0 {
+        let rank = get_rank(payload)?;
+        if payload.remaining() < rank * 2 {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        let mut coords = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let bits = payload.get_u16_le();
+            if !f16_is_finite(bits) {
+                return Err(DecodeError::BadValue);
+            }
+            coords.push(f16_to_f64(bits));
+        }
+        Ok(CoordUpdate {
+            seq,
+            payload: UpdatePayload::Keyframe { coords },
+        })
+    } else {
+        if payload.remaining() < 4 {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        let base_seq = payload.get_u16_le();
+        let scale_bits = payload.get_u16_le();
+        // The scale is a magnitude: reject inf/NaN and negative zero
+        // patterns alike (the encoder never emits a sign bit here).
+        if !f16_is_finite(scale_bits) || scale_bits & 0x8000 != 0 {
+            return Err(DecodeError::BadValue);
+        }
+        let scale = f16_to_f64(scale_bits);
+        let rank = get_rank(payload)?;
+        if payload.remaining() < rank {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        let mut quants = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            quants.push(payload.get_i8());
+        }
+        Ok(CoordUpdate {
+            seq,
+            payload: UpdatePayload::Delta {
+                base_seq,
+                scale,
+                quants,
+            },
+        })
+    }
+}
+
+/// Decodes a v2 datagram.
+pub fn decode_v2(datagram: &[u8]) -> Result<MessageV2, DecodeError> {
+    if datagram.len() < HEADER_LEN_V2 + CHECKSUM_LEN {
+        return Err(DecodeError::TooShort);
+    }
+    let (body, checksum_bytes) = datagram.split_at(datagram.len() - CHECKSUM_LEN);
+    let mut check = checksum_bytes;
+    let expected = check.get_u32_le();
+    if fnv1a(body) != expected {
+        return Err(DecodeError::BadChecksum);
+    }
+
+    let mut header = body;
+    if header.get_u16_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if header.get_u8() != VERSION_V2 {
+        return Err(DecodeError::BadVersion);
+    }
+    let type_tag = header.get_u8();
+    let payload_len = header.get_u16_le() as usize;
+    if payload_len != header.len() {
+        return Err(DecodeError::LengthMismatch);
+    }
+    let mut payload = header;
+
+    let need_u32 = |payload: &mut &[u8]| -> Result<u32, DecodeError> {
+        if payload.remaining() < 4 {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        Ok(payload.get_u32_le())
+    };
+
+    let msg = match type_tag {
+        1 => {
+            let nonce = need_u32(&mut payload)?;
+            let ack = get_ack_flags(&mut payload)?;
+            MessageV2::RttProbe { nonce, ack }
+        }
+        2 => {
+            let nonce = need_u32(&mut payload)?;
+            let update = get_update(&mut payload)?;
+            if update.rank() % 2 != 0 {
+                return Err(DecodeError::BadRank);
+            }
+            MessageV2::RttReply { nonce, update }
+        }
+        3 => {
+            let nonce = need_u32(&mut payload)?;
+            let ack = get_ack_flags(&mut payload)?;
+            if payload.remaining() < 4 {
+                return Err(DecodeError::TruncatedPayload);
+            }
+            let rate = payload.get_f32_le();
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(DecodeError::BadValue);
+            }
+            let update = get_update(&mut payload)?;
+            MessageV2::AbwProbe {
+                nonce,
+                rate_mbps: f64::from(rate),
+                ack,
+                update,
+            }
+        }
+        4 => {
+            let nonce = need_u32(&mut payload)?;
+            let ack = get_ack_flags(&mut payload)?;
+            if payload.remaining() < 1 {
+                return Err(DecodeError::TruncatedPayload);
+            }
+            let x = match payload.get_i8() {
+                1 => 1.0,
+                -1 => -1.0,
+                _ => return Err(DecodeError::BadValue),
+            };
+            let update = get_update(&mut payload)?;
+            MessageV2::AbwReply {
+                nonce,
+                x,
+                ack,
+                update,
+            }
+        }
+        _ => return Err(DecodeError::BadType),
+    };
+
+    if payload.has_remaining() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+/// Decodes a datagram of either protocol version, dispatching on the
+/// version byte at offset 2 — this is the whole of version
+/// negotiation: a node answers in whatever version the probe spoke.
+pub fn decode_any(datagram: &[u8]) -> Result<WireMessage, DecodeError> {
+    if datagram.len() < HEADER_LEN_V2 + CHECKSUM_LEN {
+        return Err(DecodeError::TooShort);
+    }
+    match datagram[2] {
+        VERSION => decode(datagram).map(WireMessage::V1),
+        VERSION_V2 => decode_v2(datagram).map(WireMessage::V2),
+        _ => {
+            // Unknown version: still distinguish corruption from a
+            // genuinely newer protocol by checking checksum and magic.
+            let (body, mut check) = datagram.split_at(datagram.len() - CHECKSUM_LEN);
+            if fnv1a(body) != check.get_u32_le() {
+                return Err(DecodeError::BadChecksum);
+            }
+            let mut header = body;
+            if header.get_u16_le() != MAGIC {
+                return Err(DecodeError::BadMagic);
+            }
+            Err(DecodeError::BadVersion)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,5 +823,316 @@ mod tests {
         let c = fnv1a(&out);
         out.put_u32_le(c);
         assert_eq!(decode(&out), Err(DecodeError::BadRank));
+    }
+
+    // ------------------------------------------------------------ v2
+
+    fn keyframe(seq: u16, coords: Vec<f64>) -> CoordUpdate {
+        CoordUpdate {
+            seq,
+            payload: UpdatePayload::Keyframe {
+                coords: crate::delta::quantize_keyframe(&coords),
+            },
+        }
+    }
+
+    fn delta(seq: u16, base_seq: u16, scale: f64, quants: Vec<i8>) -> CoordUpdate {
+        CoordUpdate {
+            seq,
+            payload: UpdatePayload::Delta {
+                base_seq,
+                scale: f16_to_f64(f16_from_f64(scale)),
+                quants,
+            },
+        }
+    }
+
+    fn sample_v2_messages() -> Vec<MessageV2> {
+        vec![
+            MessageV2::RttProbe {
+                nonce: 1,
+                ack: None,
+            },
+            MessageV2::RttProbe {
+                nonce: 2,
+                ack: Some(Ack {
+                    seq: 40_000,
+                    want_keyframe: true,
+                }),
+            },
+            MessageV2::RttReply {
+                nonce: 3,
+                update: keyframe(0, vec![0.1, -0.2, 3.5, 1.0, 2.0, -0.5]),
+            },
+            MessageV2::RttReply {
+                nonce: 4,
+                update: delta(9, 7, 0.01, vec![1, -127, 0, 127]),
+            },
+            MessageV2::AbwProbe {
+                nonce: 5,
+                rate_mbps: 43.0,
+                ack: Some(Ack {
+                    seq: 3,
+                    want_keyframe: false,
+                }),
+                update: keyframe(2, vec![0.9; 10]),
+            },
+            MessageV2::AbwReply {
+                nonce: 6,
+                x: -1.0,
+                ack: None,
+                update: delta(3, 2, 0.5, vec![-2, 0]),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_v2_all_kinds() {
+        for msg in sample_v2_messages() {
+            let wire = encode_v2(&msg);
+            let back = decode_v2(&wire).expect("roundtrip");
+            // rate_mbps passes through f32; everything else is exact.
+            match (&back, &msg) {
+                (
+                    MessageV2::AbwProbe { rate_mbps: got, .. },
+                    MessageV2::AbwProbe {
+                        rate_mbps: want, ..
+                    },
+                ) => assert!((got - want).abs() < 1e-3),
+                _ => assert_eq!(back, msg),
+            }
+            assert_eq!(decode_any(&wire), Ok(WireMessage::V2(back)));
+        }
+    }
+
+    #[test]
+    fn golden_v2_probe_layout() {
+        let wire = encode_v2(&MessageV2::RttProbe {
+            nonce: 0x0102_0304,
+            ack: Some(Ack {
+                seq: 0xBEEF,
+                want_keyframe: true,
+            }),
+        });
+        assert_eq!(&wire[0..2], &[0xF5, 0xD3]); // magic LE
+        assert_eq!(wire[2], VERSION_V2);
+        assert_eq!(wire[3], 1); // type
+        assert_eq!(&wire[4..6], &7u16.to_le_bytes()); // payload length
+        assert_eq!(&wire[6..10], &0x0102_0304u32.to_le_bytes());
+        assert_eq!(wire[10], FLAG_HAS_ACK | FLAG_WANT_KEYFRAME);
+        assert_eq!(&wire[11..13], &0xBEEFu16.to_le_bytes());
+        assert_eq!(wire.len(), HEADER_LEN_V2 + 7 + CHECKSUM_LEN);
+    }
+
+    /// Pins the datagram sizes behind the ≥3× bytes-per-cycle claim
+    /// (rank 10): a v1 RTT cycle is 204 bytes, a v2 delta cycle 60.
+    #[test]
+    fn v2_frame_sizes_at_rank_10() {
+        let v1_probe = encode(&Message::RttProbe { nonce: 1 });
+        let v1_reply = encode(&Message::RttReply {
+            nonce: 1,
+            u: vec![0.1; 10],
+            v: vec![0.2; 10],
+        });
+        assert_eq!(v1_probe.len() + v1_reply.len(), 20 + 184);
+
+        let ack = Some(Ack {
+            seq: 1,
+            want_keyframe: false,
+        });
+        let v2_probe = encode_v2(&MessageV2::RttProbe { nonce: 1, ack });
+        let v2_delta = encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: delta(2, 1, 0.01, vec![3; 20]),
+        });
+        let v2_key = encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: keyframe(2, vec![0.1; 20]),
+        });
+        assert_eq!(v2_probe.len(), 17);
+        assert_eq!(v2_delta.len(), 43);
+        assert_eq!(v2_key.len(), 59);
+        let v1_cycle = (v1_probe.len() + v1_reply.len()) as f64;
+        let v2_cycle = (v2_probe.len() + v2_delta.len()) as f64;
+        assert!(
+            v1_cycle / v2_cycle >= 3.0,
+            "delta cycle must be ≥3× smaller"
+        );
+    }
+
+    #[test]
+    fn versions_reject_each_other_cleanly() {
+        let v2 = encode_v2(&MessageV2::RttProbe {
+            nonce: 9,
+            ack: None,
+        });
+        assert_eq!(decode(&v2), Err(DecodeError::BadVersion));
+        let v1 = encode(&Message::RttProbe { nonce: 9 });
+        assert_eq!(decode_v2(&v1), Err(DecodeError::BadVersion));
+        // decode_any accepts both.
+        assert!(matches!(decode_any(&v1), Ok(WireMessage::V1(_))));
+        assert!(matches!(decode_any(&v2), Ok(WireMessage::V2(_))));
+    }
+
+    #[test]
+    fn decode_any_unknown_version() {
+        let mut wire = encode_v2(&MessageV2::RttProbe {
+            nonce: 9,
+            ack: None,
+        })
+        .to_vec();
+        wire[2] = 7;
+        let n = wire.len() - CHECKSUM_LEN;
+        let c = fnv1a(&wire[..n]);
+        wire[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode_any(&wire), Err(DecodeError::BadVersion));
+        // Corrupted frames report the checksum, not the version.
+        wire[6] ^= 0x40;
+        assert_eq!(decode_any(&wire), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn v2_rejects_truncation_at_every_length() {
+        for msg in sample_v2_messages() {
+            let wire = encode_v2(&msg);
+            for len in 0..wire.len() {
+                assert!(
+                    decode_v2(&wire[..len]).is_err() && decode_any(&wire[..len]).is_err(),
+                    "truncation to {len} bytes must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_rejects_single_byte_corruption() {
+        for msg in sample_v2_messages() {
+            let wire = encode_v2(&msg);
+            for pos in 0..wire.len() {
+                let mut corrupted = wire.to_vec();
+                corrupted[pos] ^= 0xFF;
+                assert!(
+                    decode_any(&corrupted).is_err(),
+                    "flipping byte {pos} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_rejects_undefined_flag_bits() {
+        let refresh = |mut w: Vec<u8>| {
+            let n = w.len() - CHECKSUM_LEN;
+            let c = fnv1a(&w[..n]);
+            w[n..].copy_from_slice(&c.to_le_bytes());
+            w
+        };
+        // Message flags byte sits at payload offset 4 (after nonce).
+        let wire = encode_v2(&MessageV2::RttProbe {
+            nonce: 1,
+            ack: None,
+        })
+        .to_vec();
+        let mut bad = wire.clone();
+        bad[HEADER_LEN_V2 + 4] = 0b100;
+        assert_eq!(decode_v2(&refresh(bad)), Err(DecodeError::BadValue));
+        // want_keyframe without an ack is malformed too.
+        let mut orphan = wire;
+        orphan[HEADER_LEN_V2 + 4] = FLAG_WANT_KEYFRAME;
+        assert_eq!(decode_v2(&refresh(orphan)), Err(DecodeError::BadValue));
+        // Update flags byte (RttReply: right after the nonce).
+        let wire = encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: keyframe(0, vec![1.0, 2.0]),
+        })
+        .to_vec();
+        let mut bad = wire;
+        bad[HEADER_LEN_V2 + 4] |= 0b1000;
+        assert_eq!(decode_v2(&refresh(bad)), Err(DecodeError::BadValue));
+    }
+
+    #[test]
+    fn v2_rejects_odd_rtt_reply_rank() {
+        // Odd rank can't split into u ‖ v.
+        let wire = encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: keyframe(0, vec![1.0, 2.0]),
+        })
+        .to_vec();
+        // Keyframe count field: payload offset 4 (nonce) + 1 (flags) +
+        // 2 (seq) = 7. Shrink 2 -> 1 and drop the last f16.
+        let mut patched = wire;
+        patched[HEADER_LEN_V2 + 7..HEADER_LEN_V2 + 9].copy_from_slice(&1u16.to_le_bytes());
+        let split = patched.len() - CHECKSUM_LEN - 2;
+        patched.drain(split..split + 2);
+        let new_len = (patched.len() - HEADER_LEN_V2 - CHECKSUM_LEN) as u16;
+        patched[4..6].copy_from_slice(&new_len.to_le_bytes());
+        let n = patched.len() - CHECKSUM_LEN;
+        let c = fnv1a(&patched[..n]);
+        patched[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode_v2(&patched), Err(DecodeError::BadRank));
+    }
+
+    #[test]
+    fn v2_rejects_non_finite_keyframe_values() {
+        let wire = encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: keyframe(0, vec![1.0, 2.0]),
+        })
+        .to_vec();
+        // First f16 value: payload offset 4 + 1 + 2 + 2 = 9.
+        let mut patched = wire;
+        let off = HEADER_LEN_V2 + 9;
+        patched[off..off + 2].copy_from_slice(&0x7C00u16.to_le_bytes()); // +inf
+        let n = patched.len() - CHECKSUM_LEN;
+        let c = fnv1a(&patched[..n]);
+        patched[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode_v2(&patched), Err(DecodeError::BadValue));
+    }
+
+    #[test]
+    fn v2_rejects_negative_or_nan_delta_scale() {
+        let wire = encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: delta(5, 4, 0.25, vec![1, -1]),
+        })
+        .to_vec();
+        // Scale f16: payload offset 4 + 1 + 2 + 2 (base_seq) = 9.
+        for bad_bits in [0x7E00u16, 0xBC00u16] {
+            // NaN, -1.0
+            let mut patched = wire.clone();
+            let off = HEADER_LEN_V2 + 9;
+            patched[off..off + 2].copy_from_slice(&bad_bits.to_le_bytes());
+            let n = patched.len() - CHECKSUM_LEN;
+            let c = fnv1a(&patched[..n]);
+            patched[n..].copy_from_slice(&c.to_le_bytes());
+            assert_eq!(decode_v2(&patched), Err(DecodeError::BadValue));
+        }
+    }
+
+    #[test]
+    fn v2_rejects_trailing_bytes() {
+        let mut extended = encode_v2(&MessageV2::RttProbe {
+            nonce: 3,
+            ack: None,
+        })
+        .to_vec();
+        let insert_at = extended.len() - CHECKSUM_LEN;
+        extended.insert(insert_at, 0xAB);
+        let payload_len = (extended.len() - HEADER_LEN_V2 - CHECKSUM_LEN) as u16;
+        extended[4..6].copy_from_slice(&payload_len.to_le_bytes());
+        let n = extended.len() - CHECKSUM_LEN;
+        let c = fnv1a(&extended[..n]);
+        extended[n..].copy_from_slice(&c.to_le_bytes());
+        assert_eq!(decode_v2(&extended), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "even rank")]
+    fn encode_v2_rejects_odd_rtt_reply() {
+        encode_v2(&MessageV2::RttReply {
+            nonce: 1,
+            update: keyframe(0, vec![1.0, 2.0, 3.0]),
+        });
     }
 }

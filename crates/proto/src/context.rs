@@ -1,0 +1,495 @@
+//! Per-peer encoder/decoder contexts for the v2 delta stream.
+//!
+//! Each *ordered* pair of peers owns one [`EncoderContext`] (sender
+//! side) and one [`DecoderContext`] (receiver side). The encoder
+//! deltas against the receiver's **last-acknowledged** state — never
+//! against unacked in-flight updates — so losing any number of
+//! datagrams in between leaves later deltas decodable. When loss does
+//! outrun the decoder's short reconstruction ring (or corruption eats
+//! the baseline), [`DecoderContext::apply`] reports the gap, flags
+//! `want_keyframe` on its next [`Ack`], and the encoder answers with a
+//! full-state keyframe; periodic keyframes bound the recovery time
+//! even when the acks themselves are lost. Loss degrades to extra
+//! bytes, never to wrong coordinates.
+//!
+//! Sequence numbers are per-stream wrapping `u16`s; a non-contiguous
+//! arrival is counted as a detected gap (the alec-codec discipline:
+//! verify, then update the context only from what actually decoded).
+
+use crate::delta::{apply_delta, quantize_delta, quantize_keyframe, CoordUpdate, UpdatePayload};
+use std::collections::VecDeque;
+
+/// Default number of deltas between unconditional keyframes.
+pub const DEFAULT_KEYFRAME_INTERVAL: u16 = 16;
+
+/// How many recently-sent reconstructions the encoder keeps to resolve
+/// acks against.
+const SENT_RING: usize = 32;
+
+/// How many recently-decoded reconstructions the decoder keeps as
+/// candidate delta baselines.
+const DECODED_RING: usize = 8;
+
+/// `true` if wrapping sequence number `a` is newer than `b`.
+fn seq_newer(a: u16, b: u16) -> bool {
+    a.wrapping_sub(b) as i16 > 0
+}
+
+/// A cumulative acknowledgement riding on reverse-direction traffic:
+/// "my newest decoded update is `seq`" plus an explicit keyframe
+/// request when the decoder has lost its baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Newest sequence number the receiver has decoded.
+    pub seq: u16,
+    /// Receiver cannot decode deltas and needs a keyframe.
+    pub want_keyframe: bool,
+}
+
+/// Why a [`DecoderContext`] rejected an otherwise well-formed update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContextError {
+    /// Delta references a baseline this decoder no longer (or never)
+    /// holds; a keyframe has been requested via [`DecoderContext::ack`].
+    StaleBaseline {
+        /// The baseline the delta was computed against.
+        base_seq: u16,
+        /// The update that could not be applied.
+        seq: u16,
+    },
+    /// Delta rank disagrees with the referenced baseline's rank.
+    RankMismatch {
+        /// Rank of the held baseline.
+        expected: usize,
+        /// Rank carried by the delta.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ContextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContextError::StaleBaseline { base_seq, seq } => {
+                write!(f, "update #{seq}: baseline #{base_seq} not held")
+            }
+            ContextError::RankMismatch { expected, got } => {
+                write!(f, "delta rank {got} != baseline rank {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+/// Sender half of a v2 coordinate stream toward one peer.
+#[derive(Clone, Debug)]
+pub struct EncoderContext {
+    next_seq: u16,
+    keyframe_interval: u16,
+    since_keyframe: u16,
+    force_keyframe: bool,
+    /// Receiver-confirmed `(seq, reconstruction)` — the only state
+    /// deltas are computed against.
+    acked: Option<(u16, Vec<f64>)>,
+    /// Recently-sent reconstructions, so an incoming ack can be
+    /// resolved to the exact bytes-derived state.
+    sent: VecDeque<(u16, Vec<f64>)>,
+    keyframes_sent: u64,
+    deltas_sent: u64,
+}
+
+impl Default for EncoderContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EncoderContext {
+    /// Context with the [`DEFAULT_KEYFRAME_INTERVAL`].
+    pub fn new() -> Self {
+        Self::with_keyframe_interval(DEFAULT_KEYFRAME_INTERVAL)
+    }
+
+    /// Context sending an unconditional keyframe every `interval`
+    /// updates (clamped to ≥ 1).
+    pub fn with_keyframe_interval(interval: u16) -> Self {
+        EncoderContext {
+            next_seq: 0,
+            keyframe_interval: interval.max(1),
+            since_keyframe: 0,
+            force_keyframe: false,
+            acked: None,
+            sent: VecDeque::new(),
+            keyframes_sent: 0,
+            deltas_sent: 0,
+        }
+    }
+
+    /// Encodes the next update for `coords`, advancing the stream.
+    ///
+    /// Falls back to a keyframe when: no state has been acked yet, the
+    /// peer requested one, the periodic interval elapsed, or the rank
+    /// changed.
+    pub fn encode(&mut self, coords: &[f64]) -> CoordUpdate {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+
+        let need_keyframe = self.force_keyframe
+            || self.since_keyframe >= self.keyframe_interval
+            || match &self.acked {
+                None => true,
+                Some((_, base)) => base.len() != coords.len(),
+            };
+
+        if need_keyframe {
+            let quantized = quantize_keyframe(coords);
+            self.remember(seq, quantized.clone());
+            self.force_keyframe = false;
+            self.since_keyframe = 0;
+            self.keyframes_sent += 1;
+            CoordUpdate {
+                seq,
+                payload: UpdatePayload::Keyframe { coords: quantized },
+            }
+        } else {
+            let (base_seq, base) = self.acked.as_ref().expect("checked above");
+            let (scale, quants) = quantize_delta(base, coords);
+            let reconstruction = apply_delta(base, scale, &quants);
+            let base_seq = *base_seq;
+            self.remember(seq, reconstruction);
+            self.since_keyframe += 1;
+            self.deltas_sent += 1;
+            CoordUpdate {
+                seq,
+                payload: UpdatePayload::Delta {
+                    base_seq,
+                    scale,
+                    quants,
+                },
+            }
+        }
+    }
+
+    /// Feeds back an [`Ack`] from the peer. Advances the delta
+    /// baseline when the acked update is still in the sent ring, and
+    /// schedules a keyframe when the peer asked for one.
+    pub fn on_ack(&mut self, ack: Ack) {
+        if ack.want_keyframe {
+            self.force_keyframe = true;
+        }
+        let newer = self
+            .acked
+            .as_ref()
+            .is_none_or(|(current, _)| seq_newer(ack.seq, *current));
+        if newer {
+            if let Some(state) = self.sent.iter().find(|(s, _)| *s == ack.seq) {
+                self.acked = Some(state.clone());
+            }
+        }
+    }
+
+    /// Forces the next [`encode`](Self::encode) to emit a keyframe.
+    pub fn force_keyframe(&mut self) {
+        self.force_keyframe = true;
+    }
+
+    /// Keyframes emitted so far.
+    pub fn keyframes_sent(&self) -> u64 {
+        self.keyframes_sent
+    }
+
+    /// Deltas emitted so far.
+    pub fn deltas_sent(&self) -> u64 {
+        self.deltas_sent
+    }
+
+    fn remember(&mut self, seq: u16, reconstruction: Vec<f64>) {
+        self.sent.push_back((seq, reconstruction));
+        while self.sent.len() > SENT_RING {
+            self.sent.pop_front();
+        }
+    }
+}
+
+/// Receiver half of a v2 coordinate stream from one peer.
+#[derive(Clone, Debug, Default)]
+pub struct DecoderContext {
+    /// Recently-decoded `(seq, reconstruction)` baselines.
+    states: VecDeque<(u16, Vec<f64>)>,
+    /// Newest decoded sequence number.
+    newest: Option<u16>,
+    want_keyframe: bool,
+    gaps_detected: u64,
+    keyframes_accepted: u64,
+    deltas_applied: u64,
+}
+
+impl DecoderContext {
+    /// Fresh context holding no baseline (first decodable update must
+    /// be a keyframe — which is exactly what a fresh encoder sends).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one update, returning the reconstructed coordinates.
+    ///
+    /// Keyframes always succeed. Deltas succeed iff the referenced
+    /// baseline is still held; otherwise the context records the gap,
+    /// raises `want_keyframe`, and the caller drops the update —
+    /// stale data is never half-applied.
+    pub fn apply(&mut self, update: &CoordUpdate) -> Result<Vec<f64>, ContextError> {
+        if let Some(newest) = self.newest {
+            let jump = update.seq.wrapping_sub(newest);
+            if (jump as i16) > 1 {
+                self.gaps_detected += u64::from(jump - 1);
+            }
+        }
+
+        let coords = match &update.payload {
+            UpdatePayload::Keyframe { coords } => {
+                self.want_keyframe = false;
+                self.keyframes_accepted += 1;
+                coords.clone()
+            }
+            UpdatePayload::Delta {
+                base_seq,
+                scale,
+                quants,
+            } => {
+                let base = match self.states.iter().find(|(s, _)| s == base_seq) {
+                    Some((_, base)) => base,
+                    None => {
+                        self.want_keyframe = true;
+                        return Err(ContextError::StaleBaseline {
+                            base_seq: *base_seq,
+                            seq: update.seq,
+                        });
+                    }
+                };
+                if base.len() != quants.len() {
+                    self.want_keyframe = true;
+                    return Err(ContextError::RankMismatch {
+                        expected: base.len(),
+                        got: quants.len(),
+                    });
+                }
+                self.deltas_applied += 1;
+                apply_delta(base, *scale, quants)
+            }
+        };
+
+        self.states.push_back((update.seq, coords.clone()));
+        while self.states.len() > DECODED_RING {
+            self.states.pop_front();
+        }
+        if self.newest.is_none_or(|n| seq_newer(update.seq, n)) {
+            self.newest = Some(update.seq);
+        }
+        Ok(coords)
+    }
+
+    /// The acknowledgement to piggyback on the next reverse-direction
+    /// message, or `None` before anything has been decoded.
+    pub fn ack(&self) -> Option<Ack> {
+        self.newest.map(|seq| Ack {
+            seq,
+            want_keyframe: self.want_keyframe,
+        })
+    }
+
+    /// Whether this decoder is waiting for a keyframe.
+    pub fn wants_keyframe(&self) -> bool {
+        self.want_keyframe
+    }
+
+    /// Sequence-number gaps observed (lost or reordered updates).
+    pub fn gaps_detected(&self) -> u64 {
+        self.gaps_detected
+    }
+
+    /// Keyframes successfully applied.
+    pub fn keyframes_accepted(&self) -> u64 {
+        self.keyframes_accepted
+    }
+
+    /// Deltas successfully applied.
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drift(coords: &[f64], step: f64) -> Vec<f64> {
+        coords.iter().map(|c| c + step).collect()
+    }
+
+    /// Lossless conversation: after the first keyframe, everything is
+    /// a delta and both sides agree bit-for-bit.
+    #[test]
+    fn lossless_stream_stays_in_sync() {
+        let mut enc = EncoderContext::with_keyframe_interval(u16::MAX);
+        let mut dec = DecoderContext::new();
+        let mut coords: Vec<f64> = (0..8).map(|i| i as f64 * 0.25 - 1.0).collect();
+
+        let mut keyframes = 0;
+        for round in 0..40 {
+            let update = enc.encode(&coords);
+            if update.is_keyframe() {
+                keyframes += 1;
+            }
+            let recon = dec.apply(&update).expect("lossless stream decodes");
+            // Feed the ack straight back, as the reverse channel would.
+            enc.on_ack(dec.ack().expect("decoded at least one update"));
+            for (r, c) in recon.iter().zip(&coords) {
+                assert!((r - c).abs() < 0.02, "round {round}: {r} vs {c}");
+            }
+            coords = drift(&coords, 0.003);
+        }
+        assert_eq!(keyframes, 1, "only the priming update is a keyframe");
+        assert_eq!(dec.gaps_detected(), 0);
+    }
+
+    /// The pinned gap→keyframe recovery sequence: drop a delta, watch
+    /// the decoder detect the gap, then (after baseline loss) request
+    /// and accept a keyframe. Fully deterministic.
+    #[test]
+    fn gap_recovery_regression() {
+        let mut enc = EncoderContext::with_keyframe_interval(u16::MAX);
+        let mut dec = DecoderContext::new();
+        let mut coords = vec![0.5, -0.5, 0.25, -0.25];
+
+        // seq 0: priming keyframe, delivered + acked.
+        let update = enc.encode(&coords);
+        assert!(update.is_keyframe());
+        dec.apply(&update).expect("keyframe");
+        enc.on_ack(dec.ack().unwrap());
+
+        // seq 1: delta, LOST — the ack for seq 0 stands.
+        coords = drift(&coords, 0.01);
+        let lost = enc.encode(&coords);
+        assert!(!lost.is_keyframe());
+
+        // seq 2: delta against the still-acked seq 0 — decodes fine,
+        // and the decoder has counted exactly one missing update.
+        coords = drift(&coords, 0.01);
+        let update = enc.encode(&coords);
+        assert!(!update.is_keyframe());
+        dec.apply(&update).expect("delta against acked base");
+        assert_eq!(dec.gaps_detected(), 1);
+        assert!(!dec.wants_keyframe());
+
+        // Now simulate total baseline loss (e.g. the peer restarted).
+        let mut fresh = DecoderContext::new();
+        coords = drift(&coords, 0.01);
+        let update = enc.encode(&coords);
+        let err = fresh.apply(&update).expect_err("no baseline held");
+        assert!(matches!(err, ContextError::StaleBaseline { .. }));
+        assert!(fresh.wants_keyframe());
+
+        // The want_keyframe flag travels on the next reverse message;
+        // a fresh decoder has no seq yet, so the agent sends seq=0 +
+        // want_keyframe via its own path — here we force it directly.
+        enc.force_keyframe();
+        coords = drift(&coords, 0.01);
+        let update = enc.encode(&coords);
+        assert!(update.is_keyframe(), "gap must trigger a keyframe");
+        let recon = fresh.apply(&update).expect("keyframe always decodes");
+        assert!(!fresh.wants_keyframe(), "keyframe clears the request");
+        for (r, c) in recon.iter().zip(&coords) {
+            assert!((r - c).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn want_keyframe_ack_forces_keyframe() {
+        let mut enc = EncoderContext::with_keyframe_interval(u16::MAX);
+        let coords = vec![1.0, 2.0];
+        let first = enc.encode(&coords);
+        enc.on_ack(Ack {
+            seq: first.seq,
+            want_keyframe: false,
+        });
+        assert!(!enc.encode(&coords).is_keyframe(), "acked → delta");
+        enc.on_ack(Ack {
+            seq: first.seq,
+            want_keyframe: true,
+        });
+        assert!(enc.encode(&coords).is_keyframe(), "requested → keyframe");
+    }
+
+    #[test]
+    fn periodic_keyframes_bound_recovery() {
+        let mut enc = EncoderContext::with_keyframe_interval(4);
+        let coords = vec![0.1, 0.2, 0.3];
+        let primed = enc.encode(&coords).seq;
+        enc.on_ack(Ack {
+            seq: primed,
+            want_keyframe: false,
+        });
+        let mut kinds = Vec::new();
+        for _ in 0..8 {
+            kinds.push(enc.encode(&coords).is_keyframe());
+        }
+        // 4 deltas, then the interval forces a keyframe, repeat.
+        assert_eq!(
+            kinds,
+            vec![false, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn rank_change_falls_back_to_keyframe() {
+        let mut enc = EncoderContext::new();
+        let first = enc.encode(&[1.0, 2.0]);
+        enc.on_ack(Ack {
+            seq: first.seq,
+            want_keyframe: false,
+        });
+        let update = enc.encode(&[1.0, 2.0, 3.0]);
+        assert!(update.is_keyframe(), "rank change cannot be a delta");
+    }
+
+    #[test]
+    fn duplicate_and_reordered_updates_are_harmless() {
+        let mut enc = EncoderContext::with_keyframe_interval(u16::MAX);
+        let mut dec = DecoderContext::new();
+        let a = enc.encode(&[1.0, 1.0]);
+        dec.apply(&a).unwrap();
+        enc.on_ack(dec.ack().unwrap());
+        let b = enc.encode(&[1.01, 1.01]);
+        dec.apply(&b).unwrap();
+        // Duplicate of b, then a re-delivery of old a: both decode
+        // without advancing the ack or counting gaps.
+        dec.apply(&b).unwrap();
+        dec.apply(&a).unwrap();
+        assert_eq!(dec.ack().unwrap().seq, b.seq);
+        assert_eq!(dec.gaps_detected(), 0);
+    }
+
+    #[test]
+    fn seq_wraparound_stays_ordered() {
+        assert!(seq_newer(0, u16::MAX));
+        assert!(seq_newer(5, u16::MAX - 5));
+        assert!(!seq_newer(u16::MAX, 0));
+        assert!(!seq_newer(7, 7));
+    }
+
+    #[test]
+    fn stale_delta_is_never_half_applied() {
+        let mut dec = DecoderContext::new();
+        let update = CoordUpdate {
+            seq: 9,
+            payload: UpdatePayload::Delta {
+                base_seq: 3,
+                scale: 0.01,
+                quants: vec![1, -1],
+            },
+        };
+        assert!(dec.apply(&update).is_err());
+        assert!(dec.ack().is_none(), "nothing decoded, nothing acked");
+        assert!(dec.wants_keyframe());
+    }
+}

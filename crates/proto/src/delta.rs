@@ -1,0 +1,299 @@
+//! Quantized coordinate updates: f16 keyframes and i8 deltas.
+//!
+//! Protocol v2 never ships raw f64 coordinates. A [`CoordUpdate`] is
+//! either a **keyframe** (every coordinate rounded to IEEE 754
+//! binary16) or a **delta** (per-coordinate differences against an
+//! earlier reconstructed state, scaled to `i8`). Both sides of a
+//! connection reconstruct coordinates *from the transmitted bytes
+//! only* — the encoder keeps the dequantized values it actually sent,
+//! not the exact values it was given — so quantization error never
+//! accumulates: each delta is computed against the state the receiver
+//! really holds, and the residual left by one update is folded into
+//! the next.
+//!
+//! The paper's outputs are classes (`sign(u_i · v_j)`), which makes
+//! coordinates extremely tolerant of low-precision transport; see the
+//! byte-accounting table in `docs/guide.md`.
+
+/// Largest finite binary16 value; encoder input is clamped to ±this.
+pub const F16_MAX: f64 = 65504.0;
+
+/// Upper bound on values in one update block (a v2 `RttReply` carries
+/// `u` and `v` concatenated, so this is twice [`crate::codec::MAX_RANK`]).
+pub const MAX_BLOCK: usize = 2 * crate::codec::MAX_RANK;
+
+/// Rounds an `f64` to the nearest binary16 and returns its bit
+/// pattern. Non-finite input is treated as zero; magnitudes beyond
+/// [`F16_MAX`] saturate to the largest finite half. Never produces an
+/// infinity or NaN pattern.
+pub fn f16_from_f64(value: f64) -> u16 {
+    let value = if value.is_finite() { value } else { 0.0 };
+    let value = value.clamp(-F16_MAX, F16_MAX) as f32;
+
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+    let unbiased = exp - 127;
+
+    if unbiased < -24 {
+        // Below the smallest half subnormal: flush to signed zero.
+        return sign;
+    }
+    if unbiased < -14 {
+        // Half subnormal range: shift the implicit-bit mantissa down
+        // and round to nearest even.
+        let shift = (13 - 14 - unbiased) as u32; // 14..=23
+        let full = mant | 0x0080_0000;
+        let mut half = (full >> shift) as u16;
+        let round = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        if round > halfway || (round == halfway && half & 1 == 1) {
+            half += 1;
+        }
+        return sign | half;
+    }
+
+    let mut h_exp = (unbiased + 15) as u32;
+    let mut h_mant = mant >> 13;
+    let round = mant & 0x1FFF;
+    if round > 0x1000 || (round == 0x1000 && h_mant & 1 == 1) {
+        h_mant += 1;
+        if h_mant == 0x400 {
+            h_mant = 0;
+            h_exp += 1;
+        }
+    }
+    if h_exp >= 31 {
+        // Unreachable after the clamp above, but keep the saturation
+        // so this function can never emit an inf/NaN pattern.
+        return sign | 0x7BFF;
+    }
+    sign | ((h_exp as u16) << 10) | h_mant as u16
+}
+
+/// Expands a binary16 bit pattern to `f64` (exact). Exponent-31
+/// patterns (inf/NaN) map to NaN; the codec rejects them before this
+/// is reached on the decode path.
+pub fn f16_to_f64(bits: u16) -> f64 {
+    let sign = if bits & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = ((bits >> 10) & 0x1F) as i32;
+    let mant = (bits & 0x3FF) as f64;
+    match exp {
+        0 => sign * mant * (-24f64).exp2(),
+        31 => f64::NAN,
+        e => sign * (1.0 + mant / 1024.0) * f64::from(e - 15).exp2(),
+    }
+}
+
+/// Whether a binary16 bit pattern is finite (not inf/NaN).
+pub fn f16_is_finite(bits: u16) -> bool {
+    (bits >> 10) & 0x1F != 31
+}
+
+/// Rounds every coordinate to its nearest binary16 value — the exact
+/// state a receiver reconstructs from a keyframe.
+pub fn quantize_keyframe(coords: &[f64]) -> Vec<f64> {
+    coords
+        .iter()
+        .map(|&c| f16_to_f64(f16_from_f64(c)))
+        .collect()
+}
+
+/// Quantizes `coords − baseline` to a shared binary16 scale and
+/// per-coordinate `i8` steps.
+///
+/// Returns `(scale, quants)` with every quant in `[-127, 127]` and
+/// `scale ≥ 0` exactly representable in binary16. A zero scale means
+/// the update is a no-op (all diffs below half precision).
+///
+/// # Panics
+/// Panics if the slices differ in length (an internal programming
+/// error — the encoder context always deltas against a same-rank
+/// baseline).
+pub fn quantize_delta(baseline: &[f64], coords: &[f64]) -> (f64, Vec<i8>) {
+    assert_eq!(
+        baseline.len(),
+        coords.len(),
+        "delta baseline rank {} != coords rank {}",
+        baseline.len(),
+        coords.len()
+    );
+    let max_abs = baseline
+        .iter()
+        .zip(coords)
+        .map(|(&b, &c)| (c - b).abs())
+        .fold(0.0f64, f64::max);
+    let scale = f16_to_f64(f16_from_f64(max_abs / 127.0));
+    if scale == 0.0 || !scale.is_finite() {
+        return (0.0, vec![0; coords.len()]);
+    }
+    let quants = baseline
+        .iter()
+        .zip(coords)
+        .map(|(&b, &c)| ((c - b) / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (scale, quants)
+}
+
+/// Reconstructs coordinates from a baseline and a quantized delta —
+/// the shared arithmetic both encoder and decoder run, so their
+/// states stay bit-identical.
+///
+/// # Panics
+/// Panics if the slices differ in length; callers validate rank
+/// before reconstruction.
+pub fn apply_delta(baseline: &[f64], scale: f64, quants: &[i8]) -> Vec<f64> {
+    assert_eq!(
+        baseline.len(),
+        quants.len(),
+        "delta baseline rank {} != quant rank {}",
+        baseline.len(),
+        quants.len()
+    );
+    baseline
+        .iter()
+        .zip(quants)
+        .map(|(&b, &q)| b + f64::from(q) * scale)
+        .collect()
+}
+
+/// One coordinate update on a v2 stream: a sequence number plus a
+/// keyframe or delta payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoordUpdate {
+    /// Position in the sender's per-peer stream (wrapping `u16`);
+    /// non-contiguous arrivals are how the decoder detects gaps.
+    pub seq: u16,
+    /// The quantized coordinates.
+    pub payload: UpdatePayload,
+}
+
+/// The body of a [`CoordUpdate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdatePayload {
+    /// Full state, each value binary16-rounded. Always decodable.
+    Keyframe {
+        /// The reconstructed coordinate block.
+        coords: Vec<f64>,
+    },
+    /// Differences against an earlier update's reconstruction.
+    Delta {
+        /// Sequence number of the baseline this delta builds on.
+        base_seq: u16,
+        /// Step size shared by all quants (binary16-exact, ≥ 0).
+        scale: f64,
+        /// Per-coordinate steps in `[-127, 127]`.
+        quants: Vec<i8>,
+    },
+}
+
+impl CoordUpdate {
+    /// Number of coordinate values carried.
+    pub fn rank(&self) -> usize {
+        match &self.payload {
+            UpdatePayload::Keyframe { coords } => coords.len(),
+            UpdatePayload::Delta { quants, .. } => quants.len(),
+        }
+    }
+
+    /// Whether this update is a full-state keyframe.
+    pub fn is_keyframe(&self) -> bool {
+        matches!(self.payload, UpdatePayload::Keyframe { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrips_exact_halves() {
+        for value in [0.0, -0.0, 1.0, -1.0, 0.5, 1024.0, 65504.0, -65504.0] {
+            let bits = f16_from_f64(value);
+            assert_eq!(f16_to_f64(bits), value, "{value} must round-trip");
+        }
+    }
+
+    #[test]
+    fn f16_quantization_is_idempotent() {
+        for &value in &[0.3, -2.7, 1e-3, 700.25, -1e-6, 9999.0] {
+            let once = f16_to_f64(f16_from_f64(value));
+            let twice = f16_to_f64(f16_from_f64(once));
+            assert_eq!(once, twice, "{value}: second rounding must be a no-op");
+        }
+    }
+
+    #[test]
+    fn f16_never_emits_non_finite() {
+        for value in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1e300, -1e300] {
+            let bits = f16_from_f64(value);
+            assert!(f16_is_finite(bits), "{value} must encode finite");
+        }
+    }
+
+    #[test]
+    fn f16_relative_error_is_half_precision() {
+        for i in 0..1000 {
+            let value = (i as f64 - 500.0) * 0.013 + 0.0007;
+            let back = f16_to_f64(f16_from_f64(value));
+            let err = (back - value).abs();
+            assert!(
+                err <= value.abs() * 1e-3 + 6e-8,
+                "{value} -> {back}: err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_subnormals_roundtrip() {
+        // Smallest positive half subnormal is 2^-24.
+        let tiny = (-24f64).exp2();
+        assert_eq!(f16_to_f64(f16_from_f64(tiny)), tiny);
+        // Below half of it: flushes to zero.
+        assert_eq!(f16_to_f64(f16_from_f64(tiny / 4.0)), 0.0);
+    }
+
+    #[test]
+    fn delta_roundtrip_recovers_small_motion() {
+        let baseline: Vec<f64> = (0..10).map(|i| i as f64 * 0.1 - 0.4).collect();
+        let coords: Vec<f64> = baseline.iter().map(|b| b + 0.011).collect();
+        let (scale, quants) = quantize_delta(&baseline, &coords);
+        assert!(quants.iter().all(|&q| (-127..=127).contains(&q)));
+        let recon = apply_delta(&baseline, scale, &quants);
+        for (r, c) in recon.iter().zip(&coords) {
+            assert!((r - c).abs() <= scale, "recon {r} vs {c} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn delta_of_identical_states_is_zero() {
+        let baseline = [1.0, -2.0, 3.0];
+        let (scale, quants) = quantize_delta(&baseline, &baseline);
+        assert_eq!(scale, 0.0);
+        assert_eq!(quants, vec![0, 0, 0]);
+        assert_eq!(apply_delta(&baseline, scale, &quants), baseline.to_vec());
+    }
+
+    #[test]
+    fn delta_scale_bounds_every_quant() {
+        // Large asymmetric motion still quantizes into range.
+        let baseline = [0.0, 0.0, 0.0, 0.0];
+        let coords = [5.0, -5.0, 0.1, 0.0];
+        let (scale, quants) = quantize_delta(&baseline, &coords);
+        assert!(quants.iter().all(|&q| (-127..=127).contains(&q)));
+        let recon = apply_delta(&baseline, scale, &quants);
+        for (r, c) in recon.iter().zip(&coords) {
+            assert!((r - c).abs() <= scale, "recon {r} vs {c}");
+        }
+    }
+
+    #[test]
+    fn keyframe_quantization_matches_reconstruction() {
+        let coords = [0.123, -4.56, 7.89, 0.0];
+        let q = quantize_keyframe(&coords);
+        // Re-quantizing the reconstructed state is a no-op — encoder
+        // and decoder agree on the baseline bit-for-bit.
+        assert_eq!(quantize_keyframe(&q), q);
+    }
+}

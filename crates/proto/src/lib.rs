@@ -8,34 +8,62 @@
 //! versioned, checksummed, bounds-checked codec instead of ad-hoc
 //! serialization.
 //!
-//! Layout (all integers little-endian):
+//! Two wire versions share one frame shape (all integers
+//! little-endian; negotiation is the version byte, dispatched by
+//! [`decode_any`]):
 //!
 //! ```text
-//! +-------+---------+------+-------------+~~~~~~~~~+----------+
-//! | magic | version | type | payload_len | payload | checksum |
-//! |  u16  |   u8    |  u8  |     u32     |  bytes  |   u32    |
-//! +-------+---------+------+-------------+~~~~~~~~~+----------+
+//! v1: +-------+----+------+-------------+~~~~~~~~~+----------+
+//!     | magic | =1 | type | payload_len | payload | checksum |
+//!     |  u16  | u8 |  u8  |     u32     |  bytes  |   u32    |
+//!     +-------+----+------+-------------+~~~~~~~~~+----------+
+//! v2: +-------+----+------+-------------+~~~~~~~~~+----------+
+//!     | magic | =2 | type | payload_len | payload | checksum |
+//!     |  u16  | u8 |  u8  |     u16     |  bytes  |   u32    |
+//!     +-------+----+------+-------------+~~~~~~~~~+----------+
 //! ```
 //!
-//! The checksum is FNV-1a over everything before it. Coordinates are
-//! encoded as a `u16` rank followed by `rank` f64 values; rank is
-//! bounded by [`codec::MAX_RANK`] so a hostile datagram cannot make a
-//! node allocate unbounded memory — malformed input of any kind
-//! produces a typed [`codec::DecodeError`], never a panic.
+//! The checksum is FNV-1a over everything before it. **v1** carries
+//! coordinates as a `u16` rank followed by `rank` f64 values. **v2**
+//! ([`MessageV2`]) replaces raw vectors with quantized
+//! [`delta::CoordUpdate`] blocks — binary16 keyframes or `i8` deltas
+//! against the receiver's last-acknowledged state — framed with
+//! per-stream sequence numbers; per-peer [`EncoderContext`] /
+//! [`DecoderContext`] pairs track baselines, detect gaps, and fall
+//! back to keyframes so datagram loss degrades to extra bytes, never
+//! to wrong coordinates. The [`fault`] module provides the seeded
+//! drop/duplicate/reorder/truncate/bit-flip injector that proves it.
+//!
+//! Rank is bounded by [`codec::MAX_RANK`] (blocks by
+//! [`delta::MAX_BLOCK`]) so a hostile datagram cannot make a node
+//! allocate unbounded memory — malformed input of any kind produces a
+//! typed [`codec::DecodeError`], never a panic.
 //!
 //! # Position in the workspace
 //!
 //! A leaf crate: it depends only on the vendored `bytes` and knows
-//! nothing about datasets or algorithms — [`Message`] carries plain
-//! nonces, rates, labels and coordinate vectors. Its one consumer is
+//! nothing about datasets or algorithms — messages carry plain
+//! nonces, rates, labels and coordinate blocks. Its main consumer is
 //! `dmf-agent`, whose UDP agents speak this format on the wire;
-//! `dmf-bench` micro-benchmarks [`encode`]/[`decode`] throughput.
+//! `dmf-core`'s simnet driver can route coordinate exchanges through
+//! it for deterministic byte accounting, and `dmf-bench`
+//! micro-benchmarks [`encode`]/[`decode`] throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod context;
+pub mod delta;
+pub mod fault;
 pub mod message;
+pub mod message_v2;
 
-pub use codec::{decode, encode, DecodeError};
+pub use codec::{
+    decode, decode_any, decode_v2, encode, encode_v2, DecodeError, WireMessage, WireVersion,
+};
+pub use context::{Ack, ContextError, DecoderContext, EncoderContext};
+pub use delta::{CoordUpdate, UpdatePayload};
+pub use fault::{FaultCounts, FaultInjector, FaultSpec};
 pub use message::Message;
+pub use message_v2::MessageV2;

@@ -60,6 +60,16 @@ pub trait Buf {
         u64::from_le_bytes(b)
     }
 
+    /// Reads one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
     /// Reads a little-endian `f64`.
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
@@ -106,6 +116,16 @@ pub trait BufMut {
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
     }
 
     /// Appends a little-endian `f64`.
