@@ -1,0 +1,82 @@
+//! Load generator for the sharded prediction service: drives mixed
+//! pipelined traffic (updates, predictions, rank queries) through the
+//! full wire path and reports qps and p50/p99 latency per shard
+//! count — the `service_runs` record of `BENCH.json`, standalone.
+//!
+//! ```text
+//! cargo run --release --bin load_gen                  # standard preset
+//! cargo run --release --bin load_gen -- --quick       # CI smoke
+//! cargo run --release --bin load_gen -- --shards 1,2,4,8
+//! cargo run --release --bin load_gen -- --out service_runs.json --label baseline
+//! ```
+
+use dmf_bench::experiments::perf::scale_name;
+use dmf_bench::experiments::service::{self, ServiceRun, SHARD_COUNTS};
+use dmf_bench::report;
+use dmf_bench::{flag_value, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let name = scale_name(&scale);
+    let label = flag_value(&args, "--label").unwrap_or_else(|| "current".into());
+
+    // `--shards 1,2,4` overrides the tracked default shard counts.
+    let shard_counts: Vec<usize> = match flag_value(&args, "--shards") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("--shards takes a comma-separated list of counts")
+            })
+            .collect(),
+        None => SHARD_COUNTS.to_vec(),
+    };
+
+    println!("load_gen — scale {name} (label: {label})");
+    let widths = [7, 12, 7, 10, 12, 11, 11, 11, 10];
+    println!(
+        "{}",
+        report::row(
+            &[
+                "shards".into(),
+                "connections".into(),
+                "nodes".into(),
+                "requests".into(),
+                "in_flight".into(),
+                "qps".into(),
+                "p50_us".into(),
+                "p99_us".into(),
+                "rejected".into(),
+            ],
+            &widths,
+        )
+    );
+    let runs: Vec<ServiceRun> = service::run_with(name, &shard_counts);
+    for r in &runs {
+        println!(
+            "{}",
+            report::row(
+                &[
+                    r.shards.to_string(),
+                    r.connections.to_string(),
+                    r.nodes.to_string(),
+                    r.requests.to_string(),
+                    r.max_in_flight.to_string(),
+                    format!("{:.0}", r.qps),
+                    format!("{:.1}", r.p50_us),
+                    format!("{:.1}", r.p99_us),
+                    r.overload_rejections.to_string(),
+                ],
+                &widths,
+            )
+        );
+    }
+
+    if let Some(out) = flag_value(&args, "--out") {
+        let json = serde_json::to_string_pretty(&runs).expect("serialize service runs");
+        std::fs::write(&out, json).expect("write service-runs json");
+        println!("written: {out}");
+    }
+}

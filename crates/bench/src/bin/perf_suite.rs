@@ -76,6 +76,14 @@ fn main() {
         println!("wire v1/v2 bytes-per-cycle ratio: {ratio:.2}x");
     }
 
+    for r in &suite.service_runs {
+        println!(
+            "service shards={} conns={} n={}: {:.0} qps, p50 {:.1} µs, p99 {:.1} µs ({} requests, {} rejected)",
+            r.shards, r.connections, r.nodes, r.qps, r.p50_us, r.p99_us, r.requests,
+            r.overload_rejections
+        );
+    }
+
     let json = serde_json::to_string_pretty(&suite).expect("serialize perf report");
     std::fs::write(&out, json).expect("write BENCH json");
     println!("written: {out}");

@@ -10,6 +10,7 @@ pub mod perf;
 pub mod scale;
 pub mod scale_sim;
 pub mod scenario;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -25,12 +25,15 @@
 //!
 //! The scale runs additionally persist a structured [`ScaleRun`]
 //! record (island layout, memory-per-node) in the report's
-//! `scale_runs` field, and the wire-protocol byte accounting (v1 vs
+//! `scale_runs` field, the wire-protocol byte accounting (v1 vs
 //! v2 `bytes_per_probe_cycle`; see [`wire`]) a [`WireRun`] pair in
-//! `wire_runs`.
+//! `wire_runs`, and the prediction-service load generation (qps,
+//! p50/p99 latency; see [`service`]) a [`ServiceRun`] per shard
+//! count in `service_runs`.
 
 use crate::experiments::scale::Scale;
 use crate::experiments::scale_sim::{self, ScaleRun};
+use crate::experiments::service::{self, ServiceRun};
 use crate::experiments::training::default_config;
 use crate::experiments::wire::{self, WireRun};
 use dmf_core::provider::ClassLabelProvider;
@@ -45,8 +48,10 @@ use std::time::Instant;
 /// Bump when the JSON layout changes incompatibly (comparison scripts
 /// key on this). v2: the `scale_runs` field (sharded 10k/100k
 /// workload) became part of the record. v3: the `wire_runs` field
-/// (v1-vs-v2 bytes-per-probe-cycle accounting) joined it.
-pub const SCHEMA_VERSION: u32 = 3;
+/// (v1-vs-v2 bytes-per-probe-cycle accounting) joined it. v4: the
+/// `service_runs` field (sharded prediction-service load generation;
+/// see [`service`]) joined it.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Simulated seconds the Meridian simnet workload runs for.
 const MERIDIAN_SIM_DURATION_S: f64 = 600.0;
@@ -108,6 +113,10 @@ pub struct PerfReport {
     /// wire_runs[v2].bytes_per_probe_cycle` is the tracked
     /// compression ratio the CI gate pins at ≥ 3.
     pub wire_runs: Vec<WireRun>,
+    /// Prediction-service load generation, one record per shard count
+    /// (schema v4): qps and p50/p99 latency through the full wire
+    /// path. The CI gate pins a qps floor and a p99 ceiling on these.
+    pub service_runs: Vec<ServiceRun>,
 }
 
 impl PerfReport {
@@ -263,6 +272,9 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
     // -- wire: v1-vs-v2 bytes-per-probe-cycle accounting --------------
     let wire_runs = wire::run(scale, scale_name(scale));
 
+    // -- service: sharded prediction-service load generation ----------
+    let service_runs = service::run(scale_name(scale));
+
     PerfReport {
         schema_version: SCHEMA_VERSION,
         scale: scale_name(scale).to_string(),
@@ -270,6 +282,7 @@ pub fn run(scale: &Scale, label: &str) -> PerfReport {
         metrics,
         scale_runs,
         wire_runs,
+        service_runs,
     }
 }
 
@@ -327,12 +340,20 @@ mod tests {
         assert_eq!(report.wire_runs[1].version, "v2");
         let ratio = wire::compression_ratio(&report.wire_runs).expect("pair present");
         assert!(ratio >= 3.0, "wire compression ratio {ratio:.2}");
+        // And so do the service load runs, one per tracked shard count.
+        assert_eq!(report.service_runs.len(), service::SHARD_COUNTS.len());
+        for (run, &shards) in report.service_runs.iter().zip(&service::SHARD_COUNTS) {
+            assert_eq!(run.shards, shards);
+            assert!(run.qps > 0.0 && run.p99_us >= run.p50_us);
+            assert_eq!(run.overload_rejections, 0);
+        }
     }
 
     /// Schema breaks are deliberate and loud: reports from before the
-    /// scale workload (v1, no `scale_runs`) or before the wire
-    /// accounting (v2, no `wire_runs`) must fail at parse time rather
-    /// than silently comparing against a truncated record —
+    /// scale workload (v1, no `scale_runs`), before the wire
+    /// accounting (v2, no `wire_runs`), or before the service load
+    /// generation (v3, no `service_runs`) must fail at parse time
+    /// rather than silently comparing against a truncated record —
     /// `perf_suite --compare` additionally checks `schema_version`.
     #[test]
     fn pre_scale_reports_are_rejected() {
@@ -346,6 +367,11 @@ mod tests {
             "metrics":[],"scale_runs":[]}"#;
         let err = serde_json::from_str::<PerfReport>(v2).unwrap_err();
         assert!(err.to_string().contains("wire_runs"), "{err}");
+
+        let v3 = r#"{"schema_version":3,"scale":"quick","label":"old",
+            "metrics":[],"scale_runs":[],"wire_runs":[]}"#;
+        let err = serde_json::from_str::<PerfReport>(v3).unwrap_err();
+        assert!(err.to_string().contains("service_runs"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Tracked serving-layer load generation: qps and tail latency for
+//! the sharded prediction service (`load_gen` binary; the
+//! `service_runs` field of `BENCH.json`, schema v4).
+//!
+//! The serving layer's pitch is operational: one pipelined connection
+//! sustains a deep in-flight window with bounded memory, and sharding
+//! the node space raises throughput without perturbing a single bit
+//! of the answers (the conformance suite owns the correctness half;
+//! this module tracks the throughput half). Each [`ServiceRun`]
+//! drives mixed traffic — RTT-class updates, scalar predictions,
+//! neighbor rankings — through the *full* wire path: framed client
+//! encoding, a loopback byte pipe, per-connection server threads,
+//! the shard router. Latency is measured per request from submission
+//! to decoded response, so the percentiles include framing, queueing
+//! behind the pipeline, and shard-lock contention, not just the
+//! matrix arithmetic.
+//!
+//! The workload is fixed-work per scale preset (request count,
+//! connection count, in-flight depth are hard-coded per preset), so
+//! qps across PRs is comparable the same way the `perf` wall-clock
+//! metrics are.
+
+use dmf_service::{
+    loopback_pair, serve_loopback, PredictionService, Response, ServerConnection, ServiceClient,
+    DEFAULT_MAX_IN_FLIGHT,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crate::experiments::training::default_config;
+
+/// Config seed shared by every run, so shard count is the only
+/// variable across the runs of one report.
+const SERVICE_SEED: u64 = 53;
+
+/// Shard counts every preset measures: the single-shard baseline and
+/// the sharded deployment the tentpole targets.
+pub const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+/// Load parameters per preset: population, requests per connection,
+/// concurrent connections, and client-side in-flight depth.
+fn service_workload(scale_name: &str) -> (usize, usize, usize, usize) {
+    match scale_name {
+        "paper" => (512, 40_000, 4, 64),
+        "standard" => (256, 20_000, 4, 64),
+        _ => (64, 2_500, 2, 32),
+    }
+}
+
+/// One load-generation run against the sharded service.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceRun {
+    /// Shards the node space was partitioned into.
+    pub shards: usize,
+    /// Concurrent pipelined connections.
+    pub connections: usize,
+    /// Service population (node count).
+    pub nodes: usize,
+    /// Total requests completed across all connections.
+    pub requests: usize,
+    /// Client-side in-flight depth each connection sustained.
+    pub max_in_flight: usize,
+    /// The headline metric: `requests / elapsed_s`, all connections.
+    pub qps: f64,
+    /// Median submission-to-response latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile submission-to-response latency, microseconds.
+    pub p99_us: f64,
+    /// Overload rejections observed client-side (the depth stays
+    /// below the server window, so a nonzero count is a regression).
+    pub overload_rejections: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+}
+
+/// Latency samples and error count from one connection's client loop.
+struct ConnStats {
+    latencies_us: Vec<f64>,
+    overloads: u64,
+}
+
+/// Drives one pipelined connection over a loopback pipe: keeps up to
+/// `depth` requests in flight, mixing updates, predictions and rank
+/// queries, and times each request from submission to decoded
+/// response. The server side runs [`serve_loopback`] on its own
+/// thread, sharing `svc` with every other connection.
+fn drive_connection(
+    svc: Arc<PredictionService>,
+    nodes: u32,
+    requests: u32,
+    depth: usize,
+    conn_id: u32,
+) -> ConnStats {
+    let (server_end, client_end) = loopback_pair();
+    let conn = ServerConnection::new(svc, DEFAULT_MAX_IN_FLIGHT);
+    let server = thread::spawn(move || serve_loopback(conn, server_end));
+
+    let mut client = ServiceClient::new();
+    let mut wire = Vec::new();
+    let mut rx = Vec::new();
+    let mut submit_times: VecDeque<Instant> = VecDeque::with_capacity(depth);
+    let mut stats = ConnStats {
+        latencies_us: Vec::with_capacity(requests as usize),
+        overloads: 0,
+    };
+    let mut submitted = 0u32;
+    while stats.latencies_us.len() < requests as usize {
+        while submitted < requests && client.outstanding() < depth {
+            let s = submitted.wrapping_add(conn_id.wrapping_mul(0x9E37));
+            let i = (s.wrapping_mul(11)) % nodes;
+            let j = (i + 1 + s % (nodes - 1)) % nodes;
+            match s % 3 {
+                0 => {
+                    let x = if s.is_multiple_of(5) { -1.0 } else { 1.0 };
+                    client.submit_update(i, j, x, &mut wire)
+                }
+                1 => client.submit_predict(i, j, &mut wire),
+                _ => client.submit_rank(i, 8, &mut wire),
+            };
+            submit_times.push_back(Instant::now());
+            submitted += 1;
+        }
+        if !wire.is_empty() {
+            client_end.send(&wire);
+            wire.clear();
+        }
+        rx.clear();
+        if client_end.recv(&mut rx) == 0 {
+            break;
+        }
+        client.ingest(&rx);
+        while let Some(resp) = client.poll().expect("clean response stream") {
+            // In-order execution below the server window: responses
+            // pair with submissions front-to-back.
+            let t = submit_times.pop_front().expect("response has a submission");
+            stats.latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            if matches!(resp, Response::Error { .. }) {
+                stats.overloads += 1;
+            }
+        }
+    }
+    client_end.close();
+    server
+        .join()
+        .expect("server thread")
+        .expect("no framing errors under clean load");
+    stats
+}
+
+/// `p`-th percentile (0..=1) of an unsorted sample set.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+/// Runs one load-generation pass at `shards` shards.
+pub fn run_one(
+    nodes: usize,
+    requests_per_conn: usize,
+    connections: usize,
+    depth: usize,
+    shards: usize,
+) -> ServiceRun {
+    let cfg = default_config(10, SERVICE_SEED);
+    let svc = Arc::new(
+        PredictionService::build(cfg, nodes, shards).expect("bench service configuration is valid"),
+    );
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..connections)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                drive_connection(svc, nodes as u32, requests_per_conn as u32, depth, c as u32)
+            })
+        })
+        .collect();
+    let stats: Vec<ConnStats> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = stats.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    let requests = latencies.len();
+    ServiceRun {
+        shards,
+        connections,
+        nodes,
+        requests,
+        max_in_flight: depth,
+        qps: requests as f64 / elapsed_s.max(1e-12),
+        p50_us: percentile(&mut latencies, 0.50),
+        p99_us: percentile(&mut latencies, 0.99),
+        overload_rejections: stats.iter().map(|s| s.overloads).sum(),
+        elapsed_s,
+    }
+}
+
+/// Runs the preset workload at each of the given shard counts
+/// (`load_gen --shards` hooks in here).
+pub fn run_with(scale_name: &str, shard_counts: &[usize]) -> Vec<ServiceRun> {
+    let (nodes, requests_per_conn, connections, depth) = service_workload(scale_name);
+    shard_counts
+        .iter()
+        .map(|&shards| run_one(nodes, requests_per_conn, connections, depth, shards))
+        .collect()
+}
+
+/// Runs the preset workload at every [`SHARD_COUNTS`] entry — the
+/// record tracked in `BENCH.json`.
+pub fn run(scale_name: &str) -> Vec<ServiceRun> {
+    run_with(scale_name, &SHARD_COUNTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_load_gen_covers_both_shard_counts() {
+        let runs = run("quick");
+        assert_eq!(runs.len(), SHARD_COUNTS.len());
+        for (run, &shards) in runs.iter().zip(&SHARD_COUNTS) {
+            assert_eq!(run.shards, shards);
+            assert_eq!(run.nodes, 64);
+            assert_eq!(run.requests, run.connections * 2_500);
+            assert!(run.qps > 0.0, "{shards} shards: no throughput");
+            assert!(
+                run.p50_us > 0.0 && run.p50_us <= run.p99_us,
+                "{shards} shards: percentiles out of order ({} vs {})",
+                run.p50_us,
+                run.p99_us
+            );
+            assert_eq!(
+                run.overload_rejections, 0,
+                "{shards} shards: depth below the window must never overload"
+            );
+            assert!(run.elapsed_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_the_expected_ranks() {
+        let mut s = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut s, 0.50), 3.0);
+        assert_eq!(percentile(&mut s, 0.99), 5.0);
+        assert_eq!(percentile(&mut s, 0.0), 1.0);
+        assert_eq!(percentile(&mut [], 0.5), 0.0);
+    }
+}

@@ -7,10 +7,10 @@
 //! [`DmfsgdError`] variant, and no public constructor or method of the
 //! session layer panics on user input.
 //!
-//! The deprecated shims ([`crate::system::DmfsgdSystem`]) keep their
-//! historical panicking behaviour by formatting these errors into the
-//! original messages — the strings below are therefore load-bearing
-//! for the legacy `#[should_panic]` tests.
+//! The `Display` strings below preserve the historical assertion
+//! messages verbatim (the long-gone `DmfsgdSystem` shim formatted
+//! these errors into its panics), so error text stays stable for
+//! anyone matching on it.
 
 use crate::loss::Loss;
 use dmf_datasets::Metric;
@@ -170,6 +170,14 @@ pub enum ConfigError {
         /// Population size (= island size).
         nodes: usize,
     },
+    /// A sharded deployment asked for zero shards, or for more shards
+    /// than nodes (an empty shard could never own a node).
+    Shards {
+        /// Population size.
+        n: usize,
+        /// Requested shard count.
+        shards: usize,
+    },
     /// A ground-truth update requires a specific metric on both the
     /// driver and the offered dataset (delay re-embedding is
     /// RTT-only); `got` is whichever side violated it.
@@ -229,6 +237,9 @@ impl fmt::Display for ConfigError {
                     "partition island must be a strict subset of the population \
                      (all {nodes} nodes named)"
                 )
+            }
+            ConfigError::Shards { n, shards } => {
+                write!(f, "cannot partition {n} nodes into {shards} shards")
             }
             ConfigError::MetricMismatch { expected, got } => {
                 write!(
@@ -383,9 +394,10 @@ mod tests {
 
     #[test]
     fn display_messages_preserve_legacy_assert_substrings() {
-        // The deprecated shims panic with `format!("{err}")`; the
-        // historical #[should_panic(expected = …)] substrings must
-        // therefore survive in these Display impls.
+        // The historical assertion substrings (once re-panicked by
+        // the removed DmfsgdSystem shim, and still matched by
+        // downstream error handling) must survive in these Display
+        // impls.
         assert!(ConfigError::ZeroRank
             .to_string()
             .contains("rank must be at least 1"));

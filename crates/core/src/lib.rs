@@ -39,8 +39,11 @@
 //!   the [`Driver`] trait all front-ends implement.
 //! * [`snapshot`] — serializable checkpoints; restore is
 //!   bit-identical to never having stopped.
-//! * [`system`] — the deprecated one-shot harness, kept as a thin
-//!   shim over [`Session`].
+//! * [`view`] — the read half of the session's read/write split:
+//!   [`Session::publish`] snapshots the coordinates into an immutable
+//!   [`CoordView`] that keeps answering queries while a training
+//!   round holds `&mut Session` (the shard-serving primitive behind
+//!   `dmf-service`).
 //! * [`runner`] — the simulated-network front-end
 //!   ([`runner::SimnetDriver`]): the same node logic driven through
 //!   `dmf-simnet` message passing with latency and loss,
@@ -85,8 +88,9 @@ pub mod session;
 pub mod sharded;
 #[deny(missing_docs)]
 pub mod snapshot;
-pub mod system;
 pub mod update;
+#[deny(missing_docs)]
+pub mod view;
 
 pub use config::{DmfsgdConfig, PredictionMode, SgdParams};
 pub use coords::{CoordVec, Coordinates};
@@ -97,4 +101,4 @@ pub use runner::{ExchangeFidelity, SimnetDriver, SimnetRunner, WireStats};
 pub use session::{Driver, OracleDriver, Session, SessionBuilder};
 pub use sharded::ShardedSimnetDriver;
 pub use snapshot::Snapshot;
-pub use system::DmfsgdSystem;
+pub use view::CoordView;

@@ -1,6 +1,6 @@
 //! Measurement providers: where training values come from.
 //!
-//! The system driver ([`crate::system`]) is agnostic to how a
+//! The session ([`crate::session`]) is agnostic to how a
 //! measurement is produced. Three sources cover the paper's
 //! experiments:
 //!

@@ -36,6 +36,7 @@ use crate::loss::Loss;
 use crate::node::DmfsgdNode;
 use crate::provider::MeasurementProvider;
 use crate::snapshot::Snapshot;
+use crate::view::CoordView;
 use dmf_datasets::{DynamicTrace, Metric};
 use dmf_linalg::Matrix;
 use dmf_simnet::NeighborSets;
@@ -84,8 +85,8 @@ impl Session {
 
     /// Builds the initial population. RNG consumption order (node
     /// coordinates first, then neighbor sets) matches the historical
-    /// `DmfsgdSystem::new`, so oracle-driven runs are bit-compatible
-    /// with earlier releases.
+    /// one-shot harness, so oracle-driven runs are bit-compatible with
+    /// earlier releases.
     pub(crate) fn from_validated(config: DmfsgdConfig, n: usize, tau: Option<f64>) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let nodes = (0..n)
@@ -241,20 +242,43 @@ impl Session {
         i: NodeId,
         top_k: usize,
     ) -> Result<Vec<(NodeId, f64)>, DmfsgdError> {
-        self.check_alive(i)?;
-        let mut ranked: Vec<(NodeId, f64)> = self
-            .neighbors
-            .neighbors(i)
-            .iter()
-            .map(|&j| (j, self.raw_score_unchecked(i, j)))
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(top_k);
+        let mut ranked = Vec::new();
+        self.rank_neighbors_into(i, top_k, &mut ranked)?;
         Ok(ranked)
+    }
+
+    /// [`rank_neighbors`](Self::rank_neighbors) into a caller-owned
+    /// buffer (cleared first), reusing its allocation across queries.
+    /// This is the serving-path variant: a shard worker answering rank
+    /// traffic keeps one buffer per connection and never allocates per
+    /// query. On error the buffer is left cleared.
+    pub fn rank_neighbors_into(
+        &self,
+        i: NodeId,
+        top_k: usize,
+        out: &mut Vec<(NodeId, f64)>,
+    ) -> Result<(), DmfsgdError> {
+        out.clear();
+        self.check_alive(i)?;
+        out.extend(
+            self.neighbors
+                .neighbors(i)
+                .iter()
+                .map(|&j| (j, self.raw_score_unchecked(i, j))),
+        );
+        rank_scored(out, top_k);
+        Ok(())
+    }
+
+    /// Publishes an immutable [`CoordView`] of the current
+    /// coordinates, membership and neighbor rows — the read half of
+    /// the session's read/write split. The view answers the
+    /// incremental queries bit-identically to this session *as of
+    /// now* and stays valid (and stale) while the session keeps
+    /// training; refresh it with [`CoordView::republish_node`] (per
+    /// update, `O(r)`) or [`CoordView::republish_from`].
+    pub fn publish(&self) -> CoordView {
+        CoordView::capture(self)
     }
 
     /// Materializes all pairwise raw scores (diagonal zeroed) for
@@ -327,6 +351,45 @@ impl Session {
             self.nodes[i].on_abw_reply(x, &v_snapshot, &params);
         }
         self.measurements += 1;
+    }
+
+    /// Applies an RTT-class measurement at node `i` against a *remote*
+    /// reply `(u_j, v_j)` — Algorithm 1 steps 3–4 with the reply
+    /// coordinates supplied by the caller instead of read from this
+    /// session.
+    ///
+    /// This is the sharded-serving entry point: when node `j` lives on
+    /// another shard, the router fetches `j`'s published reply
+    /// coordinates there and hands them to the shard owning `i`, which
+    /// applies the update locally — exactly the paper's protocol shape
+    /// (the probe reply carries `(u_j, v_j)` across the network). The
+    /// reply is validated (rank, finiteness) so a buggy or hostile
+    /// peer cannot corrupt the session.
+    pub fn apply_rtt_remote(
+        &mut self,
+        i: NodeId,
+        x: f64,
+        u_j: &[f64],
+        v_j: &[f64],
+    ) -> Result<(), DmfsgdError> {
+        self.check_alive(i)?;
+        let rank = self.config.rank;
+        if u_j.len() != rank || v_j.len() != rank {
+            return Err(DmfsgdError::Import(format!(
+                "remote reply has rank {}/{}, session expects {rank}",
+                u_j.len(),
+                v_j.len()
+            )));
+        }
+        if !x.is_finite() || !u_j.iter().chain(v_j.iter()).all(|c| c.is_finite()) {
+            return Err(DmfsgdError::Import(
+                "remote reply carries non-finite values".to_string(),
+            ));
+        }
+        let params = self.config.sgd;
+        self.nodes[i].on_rtt_measurement(x, u_j, v_j, &params);
+        self.measurements += 1;
+        Ok(())
     }
 
     /// Applies an already-obtained measurement value for the ordered
@@ -606,6 +669,20 @@ impl Session {
     pub fn restore(snapshot: &Snapshot) -> Result<Self, DmfsgdError> {
         snapshot.rebuild()
     }
+}
+
+/// Sorts `(id, score)` pairs best-first — score descending, id
+/// ascending on ties — and truncates to `top_k`. The single ordering
+/// shared by [`Session::rank_neighbors_into`],
+/// [`CoordView::rank_neighbors_into`] and the cross-shard rank merge
+/// in `dmf-service`, so every surface breaks ties identically.
+pub fn rank_scored(scored: &mut Vec<(NodeId, f64)>, top_k: usize) {
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(top_k);
 }
 
 /// Validates a node array against the expected shape: dense id order
@@ -997,6 +1074,76 @@ mod tests {
         }
         let top3 = session.rank_neighbors(0, 3).expect("alive");
         assert_eq!(&ranked[..3], top3.as_slice());
+    }
+
+    #[test]
+    fn rank_neighbors_into_reuses_the_buffer_and_matches() {
+        let d = meridian_like(30, 5);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm);
+        let mut session = small_session(30, 8, 5);
+        session.run(30 * 100, &mut provider).expect("run");
+        let mut buf = Vec::new();
+        for i in 0..30 {
+            session
+                .rank_neighbors_into(i, 5, &mut buf)
+                .expect("alive node");
+            assert_eq!(buf, session.rank_neighbors(i, 5).expect("alive node"));
+        }
+        // Errors clear the buffer instead of leaving stale entries.
+        assert!(session.rank_neighbors_into(99, 5, &mut buf).is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn apply_rtt_remote_matches_local_application() {
+        // Two sessions from the same seed; one applies (i, j) locally,
+        // the other through the remote-reply entry point fed j's
+        // coordinates by hand. Must be bit-identical.
+        let mut local = small_session(20, 5, 11);
+        let mut remote = small_session(20, 5, 11);
+        for (i, j, x) in [(0, 3, 1.0), (4, 9, -1.0), (0, 7, -1.0)] {
+            local
+                .apply_measurement(i, j, x, Metric::Rtt)
+                .expect("local");
+            let (u_j, v_j) = remote.nodes()[j].rtt_reply();
+            remote
+                .apply_rtt_remote(i, x, &u_j, &v_j)
+                .expect("remote reply");
+        }
+        assert_eq!(local.nodes(), remote.nodes());
+        assert_eq!(local.measurements_used(), remote.measurements_used());
+    }
+
+    #[test]
+    fn apply_rtt_remote_rejects_hostile_replies() {
+        let mut session = small_session(20, 5, 12);
+        let good = vec![0.5; 10];
+        assert!(matches!(
+            session
+                .apply_rtt_remote(0, 1.0, &[0.5; 3], &good)
+                .unwrap_err(),
+            DmfsgdError::Import(_)
+        ));
+        assert!(matches!(
+            session
+                .apply_rtt_remote(0, f64::NAN, &good, &good)
+                .unwrap_err(),
+            DmfsgdError::Import(_)
+        ));
+        let mut bad = good.clone();
+        bad[4] = f64::INFINITY;
+        assert!(matches!(
+            session.apply_rtt_remote(0, 1.0, &good, &bad).unwrap_err(),
+            DmfsgdError::Import(_)
+        ));
+        assert_eq!(
+            session.apply_rtt_remote(99, 1.0, &good, &good).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { id: 99, slots: 20 })
+        );
+        // Nothing was applied by any rejected call.
+        assert_eq!(session.measurements_used(), 0);
+        assert_eq!(session.nodes(), small_session(20, 5, 12).nodes());
     }
 
     #[test]

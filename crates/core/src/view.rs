@@ -1,0 +1,332 @@
+//! The read side of the session's read/write split: [`CoordView`].
+//!
+//! A [`Session`] is a mutable object — training rounds, membership
+//! changes and snapshot restores all take `&mut self` — which is the
+//! right shape for correctness but the wrong shape for *serving*: a
+//! prediction service wants thousands of concurrent readers answering
+//! "which class is path (i, j)?" while a training round is in flight.
+//!
+//! [`Session::publish`] solves this by snapshotting everything the
+//! incremental queries need — coordinates, neighbor rows, membership
+//! flags and the prediction mode — into an immutable [`CoordView`].
+//! The view answers [`predict`](CoordView::predict) /
+//! [`predict_class`](CoordView::predict_class) /
+//! [`rank_neighbors`](CoordView::rank_neighbors) bit-identically to
+//! the live session it was published from, and it keeps answering
+//! (against the published state) while the session trains.
+//!
+//! Republishing is incremental: a DMFSGD measurement touches exactly
+//! one node's coordinates, so a writer that applies an update and then
+//! calls [`CoordView::republish_node`] pays `O(r)` — not `O(n·r)` — to
+//! keep the published view current. `dmf-service` builds its shard
+//! store out of exactly this pattern: each shard owns a `Session`
+//! behind a write lock and a `CoordView` behind a read/write lock,
+//! republishing per update, so predict traffic never waits on a
+//! training round.
+
+use crate::config::PredictionMode;
+use crate::coords::Coordinates;
+use crate::error::{DmfsgdError, MembershipError, NodeId};
+use crate::session::{rank_scored, Session};
+use dmf_simnet::NeighborSets;
+
+/// An immutable, query-ready snapshot of a [`Session`]'s coordinates.
+///
+/// Published by [`Session::publish`]; refreshed wholesale with
+/// [`republish_from`](CoordView::republish_from) or one node at a
+/// time with [`republish_node`](CoordView::republish_node). All query
+/// methods mirror the session's incremental queries (same membership
+/// checks, same tie-breaks) and are bit-identical to them as of the
+/// last republish.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoordView {
+    rank: usize,
+    mode: PredictionMode,
+    coords: Vec<Coordinates>,
+    alive: Vec<bool>,
+    neighbors: NeighborSets,
+}
+
+impl CoordView {
+    pub(crate) fn capture(session: &Session) -> Self {
+        Self {
+            rank: session.config().rank,
+            mode: session.config().mode,
+            coords: session.nodes().iter().map(|n| n.coords.clone()).collect(),
+            alive: (0..session.len()).map(|i| session.is_alive(i)).collect(),
+            neighbors: session.neighbors().clone(),
+        }
+    }
+
+    /// Number of node slots covered by the view.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when the view covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinate rank `r` of the published population.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Prediction mode of the publishing session (decides how
+    /// [`predict`](Self::predict) scales raw scores).
+    pub fn mode(&self) -> PredictionMode {
+        self.mode
+    }
+
+    /// True when `id` named an alive member at publish time.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive.get(id).copied().unwrap_or(false)
+    }
+
+    /// The published coordinates of slot `id` (`None` out of range).
+    pub fn coords(&self, id: NodeId) -> Option<&Coordinates> {
+        self.coords.get(id)
+    }
+
+    /// The neighbor rows as of publish time.
+    pub fn neighbors(&self) -> &NeighborSets {
+        &self.neighbors
+    }
+
+    fn check_alive(&self, id: NodeId) -> Result<(), MembershipError> {
+        match self.alive.get(id) {
+            None => Err(MembershipError::UnknownNode {
+                id,
+                slots: self.coords.len(),
+            }),
+            Some(false) => Err(MembershipError::Departed { id }),
+            Some(true) => Ok(()),
+        }
+    }
+
+    fn check_pair(&self, i: NodeId, j: NodeId) -> Result<(), MembershipError> {
+        self.check_alive(i)?;
+        self.check_alive(j)?;
+        if i == j {
+            return Err(MembershipError::SelfPair { id: i });
+        }
+        Ok(())
+    }
+
+    /// Raw predictor output `u_i · v_j` over the published coordinates.
+    pub fn raw_score(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
+        self.check_pair(i, j)?;
+        Ok(self.coords[i].predict_to(&self.coords[j]))
+    }
+
+    /// Predicted measure in natural units (see [`Session::predict`]).
+    pub fn predict(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
+        let raw = self.raw_score(i, j)?;
+        Ok(match self.mode {
+            PredictionMode::Class => raw,
+            PredictionMode::Quantity { value_scale } => raw * value_scale,
+        })
+    }
+
+    /// Predicted class of the path `i → j`: `+1.0` when the raw score
+    /// is non-negative, `-1.0` otherwise.
+    pub fn predict_class(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
+        let raw = self.raw_score(i, j)?;
+        Ok(if raw >= 0.0 { 1.0 } else { -1.0 })
+    }
+
+    /// Published-state [`Session::rank_neighbors`]: node `i`'s
+    /// neighbors ranked by score (descending, id-ascending ties),
+    /// truncated to `top_k`.
+    pub fn rank_neighbors(
+        &self,
+        i: NodeId,
+        top_k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, DmfsgdError> {
+        let mut out = Vec::new();
+        self.rank_neighbors_into(i, top_k, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`rank_neighbors`](Self::rank_neighbors) into a caller-owned
+    /// buffer (cleared first), reusing its allocation across queries —
+    /// the hot serving path. On error the buffer is left cleared.
+    pub fn rank_neighbors_into(
+        &self,
+        i: NodeId,
+        top_k: usize,
+        out: &mut Vec<(NodeId, f64)>,
+    ) -> Result<(), DmfsgdError> {
+        out.clear();
+        self.check_alive(i)?;
+        out.extend(
+            self.neighbors
+                .neighbors(i)
+                .iter()
+                .map(|&j| (j, self.coords[i].predict_to(&self.coords[j]))),
+        );
+        rank_scored(out, top_k);
+        Ok(())
+    }
+
+    /// Refreshes one node's published coordinates from `session` —
+    /// `O(r)`, the per-update write half of the read/write split.
+    ///
+    /// Fails (leaving the view untouched) when `id` is outside the
+    /// published slot range or the session's rank changed; republish
+    /// wholesale with [`republish_from`](Self::republish_from) after
+    /// structural changes (joins growing the slot space, restores).
+    pub fn republish_node(&mut self, session: &Session, id: NodeId) -> Result<(), DmfsgdError> {
+        let Some(node) = session.node(id) else {
+            return Err(MembershipError::UnknownNode {
+                id,
+                slots: session.len(),
+            }
+            .into());
+        };
+        if id >= self.coords.len() || node.coords.rank() != self.rank {
+            return Err(DmfsgdError::Import(format!(
+                "republish of node {id} does not fit the published view \
+                 ({} slots, rank {})",
+                self.coords.len(),
+                self.rank
+            )));
+        }
+        self.coords[id] = node.coords.clone();
+        self.alive[id] = session.is_alive(id);
+        Ok(())
+    }
+
+    /// Re-captures the whole view from `session` (coordinates,
+    /// membership and neighbor rows), reusing allocations where slot
+    /// counts match. Equivalent to `*self = session.publish()`.
+    pub fn republish_from(&mut self, session: &Session) {
+        self.rank = session.config().rank;
+        self.mode = session.config().mode;
+        self.coords.clear();
+        self.coords
+            .extend(session.nodes().iter().map(|n| n.coords.clone()));
+        self.alive.clear();
+        self.alive
+            .extend((0..session.len()).map(|i| session.is_alive(i)));
+        self.neighbors = session.neighbors().clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::ClassLabelProvider;
+    use dmf_datasets::rtt::meridian_like;
+
+    fn trained(n: usize, seed: u64, ticks: usize) -> (Session, ClassLabelProvider) {
+        let d = meridian_like(n, seed);
+        let cm = d.classify(d.median());
+        let mut provider = ClassLabelProvider::new(cm);
+        let mut session = Session::builder()
+            .nodes(n)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        session.run(ticks, &mut provider).expect("run");
+        (session, provider)
+    }
+
+    #[test]
+    fn view_answers_bit_identically_to_the_session() {
+        let (session, _) = trained(40, 1, 4_000);
+        let view = session.publish();
+        assert_eq!(view.len(), 40);
+        for i in 0..40 {
+            for j in 0..40 {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    view.raw_score(i, j).unwrap(),
+                    session.raw_score(i, j).unwrap()
+                );
+                assert_eq!(
+                    view.predict_class(i, j).unwrap(),
+                    session.predict_class(i, j).unwrap()
+                );
+            }
+            assert_eq!(
+                view.rank_neighbors(i, 10).unwrap(),
+                session.rank_neighbors(i, 10).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn view_is_stable_while_the_session_trains() {
+        let (mut session, mut provider) = trained(30, 2, 1_000);
+        let view = session.publish();
+        let before = view.raw_score(0, 1).unwrap();
+        session.run(2_000, &mut provider).expect("train more");
+        // The session moved; the published view did not.
+        assert_ne!(session.raw_score(0, 1).unwrap(), before);
+        assert_eq!(view.raw_score(0, 1).unwrap(), before);
+    }
+
+    #[test]
+    fn republish_node_tracks_exactly_one_slot() {
+        let (mut session, _) = trained(25, 3, 500);
+        let mut view = session.publish();
+        let u_1 = session.node(1).unwrap().coords.u.clone();
+        session
+            .apply_rtt_remote(0, 1.0, &u_1.to_vec(), &u_1.to_vec())
+            .expect("apply");
+        assert_ne!(
+            view.raw_score(0, 2).unwrap(),
+            session.raw_score(0, 2).unwrap()
+        );
+        view.republish_node(&session, 0).expect("republish");
+        for j in 1..25 {
+            assert_eq!(
+                view.raw_score(0, j).unwrap(),
+                session.raw_score(0, j).unwrap()
+            );
+        }
+        assert!(matches!(
+            view.republish_node(&session, 999).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn republish_from_follows_membership_changes() {
+        let (mut session, _) = trained(25, 4, 500);
+        let mut view = session.publish();
+        session.leave(5).expect("leave");
+        // Stale view still serves the departed node's last coordinates.
+        assert!(view.raw_score(5, 1).is_ok());
+        view.republish_from(&session);
+        assert!(matches!(
+            view.raw_score(5, 1).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::Departed { id: 5 })
+        ));
+        let grown = session.join().expect("rejoin");
+        view.republish_from(&session);
+        assert!(view.is_alive(grown));
+    }
+
+    #[test]
+    fn view_checks_membership_like_the_session() {
+        let (session, _) = trained(20, 5, 100);
+        let view = session.publish();
+        assert_eq!(
+            view.raw_score(3, 3).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::SelfPair { id: 3 })
+        );
+        assert_eq!(
+            view.predict(0, 99).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { id: 99, slots: 20 })
+        );
+        assert!(matches!(
+            view.rank_neighbors(99, 5).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { .. })
+        ));
+    }
+}

@@ -115,8 +115,13 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// FNV-1a 32-bit over a byte slice.
-fn fnv1a(data: &[u8]) -> u32 {
+/// FNV-1a 32-bit over a byte slice — the frame checksum of every
+/// DMFSGD wire format (probe protocol v1/v2 here, and the
+/// `dmf-service` query protocol, which reuses this exact function so
+/// one hostile-input analysis covers both). Single-bit flips are
+/// always detected: each byte's state transition (xor, then multiply
+/// by an odd constant) is a bijection of the running hash.
+pub fn fnv1a(data: &[u8]) -> u32 {
     let mut hash: u32 = 0x811c_9dc5;
     for &b in data {
         hash ^= b as u32;

@@ -60,7 +60,7 @@ pub mod message;
 pub mod message_v2;
 
 pub use codec::{
-    decode, decode_any, decode_v2, encode, encode_v2, DecodeError, WireMessage, WireVersion,
+    decode, decode_any, decode_v2, encode, encode_v2, fnv1a, DecodeError, WireMessage, WireVersion,
 };
 pub use context::{Ack, ContextError, DecoderContext, EncoderContext};
 pub use delta::{CoordUpdate, UpdatePayload};

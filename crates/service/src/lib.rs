@@ -1,0 +1,68 @@
+//! # dmf-service — sharded, pipelined prediction serving
+//!
+//! DMFSGD (CoNEXT 2011) trains coordinates decentrally, but something
+//! still has to *answer queries*: an overlay scheduler asking "which
+//! class is the path from `i` to `j`?", a peer selector asking for
+//! `i`'s best neighbors. This crate is that serving layer — many
+//! DMFSGD sessions behind one query surface:
+//!
+//! * [`partition`] — landmark-style partitioning of the node id space
+//!   into contiguous per-shard ranges with `O(1)` ownership lookup.
+//! * [`service`] — the shard pool and router
+//!   ([`PredictionService`]): each shard owns a
+//!   [`Session`](dmf_core::Session) behind a write lock and a
+//!   published [`CoordView`](dmf_core::CoordView) behind a read lock
+//!   (the session layer's read/write split), updates route to the
+//!   owning shard carrying the peer's reply coordinates (the paper's
+//!   Algorithm 1 wire shape), and cross-shard rank queries fan out
+//!   and merge with the session's own tie-break. Sharded answers are
+//!   **bit-identical** to a single-session oracle fed the same
+//!   operations in the same order — the conformance suite pins this
+//!   at several shard counts.
+//! * [`protocol`] — the framed request/response wire format:
+//!   `check`/`consume` buffered decoding over a byte stream
+//!   ([`ControlFlow`](std::ops::ControlFlow)-based head inspection),
+//!   reusing `dmf-proto`'s header conventions and FNV-1a checksum.
+//!   Every response echoes its request's sequence number.
+//! * [`connection`] — request pipelining with bounded backpressure:
+//!   strictly in-order execution (deterministic response streams),
+//!   a bounded admission window, and immediate typed
+//!   [`ErrorCode::Overloaded`] rejection beyond it.
+//! * [`client`] — sequence allocation, response matching, and the
+//!   fold from remote errors into [`DmfsgdError`](dmf_core::DmfsgdError)
+//!   (overload → `Transport`).
+//! * [`loopback`] — an in-memory duplex byte pipe so benches and
+//!   examples run the full wire path without sockets.
+//!
+//! # Position in the workspace
+//!
+//! Depends on `dmf-core` (sessions, views, typed errors) and
+//! `dmf-proto` (checksum, decode-error vocabulary). Downstream,
+//! `dmf-bench` load-tests it (`service_runs` in BENCH.json) and the
+//! facade re-exports it as `dmfsgd::service`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[deny(missing_docs)]
+pub mod client;
+#[deny(missing_docs)]
+pub mod connection;
+#[deny(missing_docs)]
+pub mod loopback;
+#[deny(missing_docs)]
+pub mod partition;
+#[deny(missing_docs)]
+pub mod protocol;
+#[deny(missing_docs)]
+pub mod service;
+
+pub use client::ServiceClient;
+pub use connection::{serve_loopback, ServerConnection, DEFAULT_MAX_IN_FLIGHT};
+pub use loopback::{loopback_pair, LoopbackEndpoint};
+pub use partition::Partition;
+pub use protocol::{
+    ErrorCode, ProtocolDecode, ProtocolEncode, Request, Response, CHECKSUM_LEN, HEADER_LEN,
+    MAX_PAYLOAD, MAX_RANKED, SERVICE_MAGIC, SERVICE_VERSION,
+};
+pub use service::PredictionService;

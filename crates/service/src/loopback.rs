@@ -1,0 +1,168 @@
+//! In-memory duplex byte pipe for driving the service without
+//! sockets: [`loopback_pair`].
+//!
+//! The load generator, the examples and the threaded conformance
+//! tests all need a transport, but the container the differential
+//! suite runs in may not allow binding sockets — and a socket adds
+//! nothing to what those tests measure. The loopback pipe is the
+//! minimal stand-in: two endpoints, each endpoint's `send` feeding
+//! the peer's `recv`, with blocking reads (condvar, no spinning) and
+//! explicit close semantics. Anything that speaks bytes over it —
+//! [`serve_loopback`](crate::connection::serve_loopback) on one side,
+//! a [`ServiceClient`](crate::client::ServiceClient) pump on the
+//! other — would speak identically over a TCP stream.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One direction of the pipe.
+struct Channel {
+    state: Mutex<ChannelState>,
+    readable: Condvar,
+}
+
+struct ChannelState {
+    bytes: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(ChannelState {
+                bytes: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn send(&self, bytes: &[u8]) {
+        let mut st = self.state.lock().expect("pipe lock");
+        if !st.closed {
+            st.bytes.extend(bytes);
+            self.readable.notify_all();
+        }
+    }
+
+    /// Blocks until bytes arrive or the channel closes; drains
+    /// everything available into `buf`. Returns the byte count (0 =
+    /// closed and drained).
+    fn recv(&self, buf: &mut Vec<u8>) -> usize {
+        let mut st = self.state.lock().expect("pipe lock");
+        while st.bytes.is_empty() && !st.closed {
+            st = self.readable.wait(st).expect("pipe lock");
+        }
+        let n = st.bytes.len();
+        buf.extend(st.bytes.drain(..));
+        n
+    }
+
+    fn try_recv(&self, buf: &mut Vec<u8>) -> usize {
+        let mut st = self.state.lock().expect("pipe lock");
+        let n = st.bytes.len();
+        buf.extend(st.bytes.drain(..));
+        n
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("pipe lock");
+        st.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-memory duplex byte pipe (create with
+/// [`loopback_pair`]). Cloning an endpoint shares it.
+#[derive(Clone)]
+pub struct LoopbackEndpoint {
+    tx: Arc<Channel>,
+    rx: Arc<Channel>,
+}
+
+impl LoopbackEndpoint {
+    /// Queues `bytes` for the peer (dropped silently if the peer
+    /// closed — matching what a socket write after FIN amounts to).
+    pub fn send(&self, bytes: &[u8]) {
+        self.tx.send(bytes);
+    }
+
+    /// Blocks until the peer sends or closes; appends everything
+    /// available to `buf` and returns the count (0 means the peer
+    /// closed and the pipe is drained).
+    pub fn recv(&self, buf: &mut Vec<u8>) -> usize {
+        self.rx.recv(buf)
+    }
+
+    /// Non-blocking [`recv`](Self::recv): appends whatever is queued
+    /// right now (possibly nothing).
+    pub fn try_recv(&self, buf: &mut Vec<u8>) -> usize {
+        self.rx.try_recv(buf)
+    }
+
+    /// Closes the direction the peer reads from; their `recv` drains
+    /// the backlog, then returns 0.
+    pub fn close(&self) {
+        self.tx.close();
+    }
+}
+
+/// Creates a connected pair of duplex endpoints.
+pub fn loopback_pair() -> (LoopbackEndpoint, LoopbackEndpoint) {
+    let a2b = Channel::new();
+    let b2a = Channel::new();
+    (
+        LoopbackEndpoint {
+            tx: a2b.clone(),
+            rx: b2a.clone(),
+        },
+        LoopbackEndpoint { tx: b2a, rx: a2b },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let (a, b) = loopback_pair();
+        a.send(b"ping");
+        let mut buf = Vec::new();
+        assert_eq!(b.recv(&mut buf), 4);
+        assert_eq!(buf, b"ping");
+        b.send(b"pong");
+        buf.clear();
+        assert_eq!(a.recv(&mut buf), 4);
+        assert_eq!(buf, b"pong");
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_reader_after_the_backlog_drains() {
+        let (a, b) = loopback_pair();
+        a.send(b"tail");
+        a.close();
+        let mut buf = Vec::new();
+        assert_eq!(b.recv(&mut buf), 4);
+        assert_eq!(b.recv(&mut buf), 0);
+
+        // A reader blocked with nothing queued is woken by close.
+        let (c, d) = loopback_pair();
+        let t = thread::spawn(move || {
+            let mut buf = Vec::new();
+            d.recv(&mut buf)
+        });
+        c.close();
+        assert_eq!(t.join().expect("reader thread"), 0);
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (a, b) = loopback_pair();
+        let mut buf = Vec::new();
+        assert_eq!(b.try_recv(&mut buf), 0);
+        a.send(b"x");
+        assert_eq!(b.try_recv(&mut buf), 1);
+    }
+}

@@ -1,0 +1,735 @@
+//! Framed request/response protocol for the prediction service.
+//!
+//! The probe protocol in `dmf-proto` is datagram-shaped: one message
+//! per packet, decoded all-or-nothing. A serving connection is
+//! stream-shaped instead — requests arrive back to back in one byte
+//! stream and the decoder must know, *before* parsing, whether a full
+//! frame has buffered. This module follows the buffered-protocol
+//! idiom: [`ProtocolDecode::check`] inspects the buffer head and
+//! returns [`ControlFlow::Continue`] with the total length still
+//! needed (read more and re-check) or [`ControlFlow::Break`] with the
+//! length of the complete frame, after which
+//! [`ProtocolDecode::consume`] parses exactly those bytes.
+//!
+//! The frame shape deliberately mirrors `dmf-proto` v1 so one hostile
+//! -input analysis covers both wire formats (all integers
+//! little-endian):
+//!
+//! ```text
+//! +-------+----+------+-------------+~~~~~~~~~+----------+
+//! | magic | =1 | type | payload_len | payload | checksum |
+//! |  u16  | u8 |  u8  |     u32     |  bytes  |   u32    |
+//! +-------+----+------+-------------+~~~~~~~~~+----------+
+//! ```
+//!
+//! The magic is [`SERVICE_MAGIC`] (`0xD3F6`, distinct from the probe
+//! protocol's `0xD3F5` so a misrouted datagram fails fast) and the
+//! checksum is the same FNV-1a ([`dmf_proto::fnv1a`]) over everything
+//! before it. Every request and response payload begins with a `u32`
+//! sequence number: responses are tagged with the sequence of the
+//! request they answer, which is what makes pipelining safe — a
+//! client with 64 requests in flight matches answers by sequence, not
+//! by arrival order (though the server does answer in order).
+//!
+//! Malformed input of any kind produces a typed
+//! [`DecodeError`] — never a panic, and never
+//! an allocation larger than [`MAX_PAYLOAD`].
+
+use dmf_proto::{fnv1a, DecodeError};
+use std::ops::ControlFlow;
+
+/// Frame magic for the service protocol (`0xD3F6`; the probe protocol
+/// uses `0xD3F5`).
+pub const SERVICE_MAGIC: u16 = 0xD3F6;
+
+/// Service protocol version byte.
+pub const SERVICE_VERSION: u8 = 1;
+
+/// Fixed frame header length: magic + version + type + payload_len.
+pub const HEADER_LEN: usize = 8;
+
+/// Trailing checksum length.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Upper bound on a frame's payload. A hostile length field cannot
+/// make a peer buffer more than this per frame (snapshots are the
+/// largest legitimate payload; see [`Response::SnapshotData`]).
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Upper bound on the entry count of a [`Response::Ranked`] frame —
+/// decoding rejects larger counts before allocating.
+pub const MAX_RANKED: usize = 4096;
+
+/// Buffered protocol encoding: append one complete frame to `buf`.
+///
+/// Encoding is infallible (requests and responses are constructed
+/// from already-validated values) and allocation-free beyond the
+/// output buffer itself.
+pub trait ProtocolEncode {
+    /// Appends the encoded frame to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+}
+
+/// Buffered protocol decoding over a byte stream.
+///
+/// [`check`](Self::check) is called first. If it returns
+/// [`ControlFlow::Continue`] with the expected total length, more
+/// bytes are read until that length is buffered and the check is
+/// repeated, until [`ControlFlow::Break`] reports a complete frame of
+/// the returned length. Finally [`consume`](Self::consume) is called
+/// with exactly that many bytes to construct the message.
+pub trait ProtocolDecode: Sized {
+    /// Inspects the head of `buf` without consuming it.
+    fn check(buf: &[u8]) -> Result<ControlFlow<usize, usize>, DecodeError>;
+
+    /// Parses one complete frame (`buf` must be exactly the length
+    /// reported by [`check`](Self::check)'s `Break`).
+    fn consume(buf: &[u8]) -> Result<Self, DecodeError>;
+}
+
+// ---- message type tags ----------------------------------------------
+
+const T_PREDICT: u8 = 0x01;
+const T_PREDICT_CLASS: u8 = 0x02;
+const T_RANK: u8 = 0x03;
+const T_UPDATE: u8 = 0x04;
+const T_SNAPSHOT: u8 = 0x05;
+const T_VALUE: u8 = 0x81;
+const T_CLASS: u8 = 0x82;
+const T_RANKED: u8 = 0x83;
+const T_UPDATED: u8 = 0x84;
+const T_SNAPSHOT_DATA: u8 = 0x85;
+const T_ERROR: u8 = 0xEE;
+
+/// A client request. Every variant carries the client-chosen sequence
+/// number echoed by the matching response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Predicted measure for the path `i → j` (natural units).
+    Predict {
+        /// Pipelining sequence number.
+        seq: u32,
+        /// Source node id.
+        i: u32,
+        /// Destination node id.
+        j: u32,
+    },
+    /// Predicted performance class (±1) for the path `i → j`.
+    PredictClass {
+        /// Pipelining sequence number.
+        seq: u32,
+        /// Source node id.
+        i: u32,
+        /// Destination node id.
+        j: u32,
+    },
+    /// Node `i`'s neighbors ranked by predicted score, best first.
+    RankNeighbors {
+        /// Pipelining sequence number.
+        seq: u32,
+        /// Node whose neighbors are ranked.
+        i: u32,
+        /// Maximum entries returned.
+        top_k: u16,
+    },
+    /// Apply an RTT-class measurement `x` for the pair `(i, j)`
+    /// (Algorithm 1; `x` must be finite — decode enforces it).
+    Update {
+        /// Pipelining sequence number.
+        seq: u32,
+        /// Measuring node (the one whose coordinates move).
+        i: u32,
+        /// Probed neighbor.
+        j: u32,
+        /// Measured class value.
+        x: f64,
+    },
+    /// Fetch shard `shard`'s session snapshot (JSON).
+    Snapshot {
+        /// Pipelining sequence number.
+        seq: u32,
+        /// Shard index.
+        shard: u16,
+    },
+}
+
+/// Remote failure category carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request named an unknown, departed or self-paired node.
+    Membership = 1,
+    /// The connection's in-flight window is full; retry after draining
+    /// responses. Clients surface this as `DmfsgdError::Transport`.
+    Overloaded = 2,
+    /// The request was structurally valid but unserviceable (bad shard
+    /// index, non-finite value, ...).
+    BadRequest = 3,
+    /// Server-side failure not attributable to the request.
+    Internal = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            1 => Ok(Self::Membership),
+            2 => Ok(Self::Overloaded),
+            3 => Ok(Self::BadRequest),
+            4 => Ok(Self::Internal),
+            _ => Err(DecodeError::BadValue),
+        }
+    }
+}
+
+/// A server response. The `seq` echoes the request being answered.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Predict`].
+    Value {
+        /// Sequence of the request answered.
+        seq: u32,
+        /// Predicted measure in natural units.
+        value: f64,
+    },
+    /// Answer to [`Request::PredictClass`].
+    Class {
+        /// Sequence of the request answered.
+        seq: u32,
+        /// Predicted class: `+1` or `-1` (decode enforces it).
+        class: i8,
+    },
+    /// Answer to [`Request::RankNeighbors`].
+    Ranked {
+        /// Sequence of the request answered.
+        seq: u32,
+        /// `(node id, raw score)` pairs, best first.
+        entries: Vec<(u32, f64)>,
+    },
+    /// Answer to [`Request::Update`]: the measurement was applied.
+    Updated {
+        /// Sequence of the request answered.
+        seq: u32,
+    },
+    /// Answer to [`Request::Snapshot`].
+    SnapshotData {
+        /// Sequence of the request answered.
+        seq: u32,
+        /// The shard session's snapshot, JSON-encoded.
+        json: Vec<u8>,
+    },
+    /// The request failed; carries a typed code and a human-readable
+    /// message.
+    Error {
+        /// Sequence of the request that failed.
+        seq: u32,
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable detail (UTF-8, at most `u16::MAX` bytes).
+        message: String,
+    },
+}
+
+impl Request {
+    /// The request's sequence number.
+    pub fn seq(&self) -> u32 {
+        match self {
+            Request::Predict { seq, .. }
+            | Request::PredictClass { seq, .. }
+            | Request::RankNeighbors { seq, .. }
+            | Request::Update { seq, .. }
+            | Request::Snapshot { seq, .. } => *seq,
+        }
+    }
+}
+
+impl Response {
+    /// The sequence number of the request this response answers.
+    pub fn seq(&self) -> u32 {
+        match self {
+            Response::Value { seq, .. }
+            | Response::Class { seq, .. }
+            | Response::Ranked { seq, .. }
+            | Response::Updated { seq }
+            | Response::SnapshotData { seq, .. }
+            | Response::Error { seq, .. } => *seq,
+        }
+    }
+}
+
+// ---- encoding -------------------------------------------------------
+
+/// Writes the frame header, returns the offset where the frame began.
+fn begin_frame(buf: &mut Vec<u8>, ty: u8, payload_len: usize) -> usize {
+    debug_assert!(payload_len <= MAX_PAYLOAD);
+    let start = buf.len();
+    buf.extend_from_slice(&SERVICE_MAGIC.to_le_bytes());
+    buf.push(SERVICE_VERSION);
+    buf.push(ty);
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    start
+}
+
+/// Appends the FNV-1a checksum over the frame written since `start`.
+fn end_frame(buf: &mut Vec<u8>, start: usize) {
+    let sum = fnv1a(&buf[start..]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+}
+
+impl ProtocolEncode for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            Request::Predict { seq, i, j } | Request::PredictClass { seq, i, j } => {
+                let ty = if matches!(self, Request::Predict { .. }) {
+                    T_PREDICT
+                } else {
+                    T_PREDICT_CLASS
+                };
+                let start = begin_frame(buf, ty, 12);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&i.to_le_bytes());
+                buf.extend_from_slice(&j.to_le_bytes());
+                end_frame(buf, start);
+            }
+            Request::RankNeighbors { seq, i, top_k } => {
+                let start = begin_frame(buf, T_RANK, 10);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&i.to_le_bytes());
+                buf.extend_from_slice(&top_k.to_le_bytes());
+                end_frame(buf, start);
+            }
+            Request::Update { seq, i, j, x } => {
+                let start = begin_frame(buf, T_UPDATE, 20);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&i.to_le_bytes());
+                buf.extend_from_slice(&j.to_le_bytes());
+                buf.extend_from_slice(&x.to_le_bytes());
+                end_frame(buf, start);
+            }
+            Request::Snapshot { seq, shard } => {
+                let start = begin_frame(buf, T_SNAPSHOT, 6);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&shard.to_le_bytes());
+                end_frame(buf, start);
+            }
+        }
+    }
+}
+
+impl ProtocolEncode for Response {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Value { seq, value } => {
+                let start = begin_frame(buf, T_VALUE, 12);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&value.to_le_bytes());
+                end_frame(buf, start);
+            }
+            Response::Class { seq, class } => {
+                let start = begin_frame(buf, T_CLASS, 5);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(*class as u8);
+                end_frame(buf, start);
+            }
+            Response::Ranked { seq, entries } => {
+                assert!(entries.len() <= MAX_RANKED, "ranked reply too large");
+                let start = begin_frame(buf, T_RANKED, 6 + 12 * entries.len());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (id, score) in entries {
+                    buf.extend_from_slice(&id.to_le_bytes());
+                    buf.extend_from_slice(&score.to_le_bytes());
+                }
+                end_frame(buf, start);
+            }
+            Response::Updated { seq } => {
+                let start = begin_frame(buf, T_UPDATED, 4);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                end_frame(buf, start);
+            }
+            Response::SnapshotData { seq, json } => {
+                assert!(json.len() + 8 <= MAX_PAYLOAD, "snapshot too large");
+                let start = begin_frame(buf, T_SNAPSHOT_DATA, 8 + json.len());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                buf.extend_from_slice(json);
+                end_frame(buf, start);
+            }
+            Response::Error { seq, code, message } => {
+                let msg = message.as_bytes();
+                assert!(msg.len() <= u16::MAX as usize, "error message too long");
+                let start = begin_frame(buf, T_ERROR, 7 + msg.len());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(*code as u8);
+                buf.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+                buf.extend_from_slice(msg);
+                end_frame(buf, start);
+            }
+        }
+    }
+}
+
+// ---- decoding -------------------------------------------------------
+
+/// Stream-head inspection shared by both directions: validates what
+/// the header alone can validate and reports how many bytes the frame
+/// occupies.
+fn check_frame(
+    buf: &[u8],
+    known_type: fn(u8) -> bool,
+) -> Result<ControlFlow<usize, usize>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(ControlFlow::Continue(HEADER_LEN));
+    }
+    if u16::from_le_bytes([buf[0], buf[1]]) != SERVICE_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf[2] != SERVICE_VERSION {
+        return Err(DecodeError::BadVersion);
+    }
+    if !known_type(buf[3]) {
+        return Err(DecodeError::BadType);
+    }
+    let payload_len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(DecodeError::LengthMismatch);
+    }
+    let total = HEADER_LEN + payload_len + CHECKSUM_LEN;
+    if buf.len() < total {
+        Ok(ControlFlow::Continue(total))
+    } else {
+        Ok(ControlFlow::Break(total))
+    }
+}
+
+/// Full-frame verification: `buf` must be exactly one frame. Returns
+/// the type tag and payload slice after checksum verification.
+fn split_frame(buf: &[u8], known_type: fn(u8) -> bool) -> Result<(u8, &[u8]), DecodeError> {
+    match check_frame(buf, known_type)? {
+        ControlFlow::Continue(_) => Err(DecodeError::TooShort),
+        ControlFlow::Break(total) => {
+            if buf.len() != total {
+                return Err(DecodeError::LengthMismatch);
+            }
+            let body = &buf[..total - CHECKSUM_LEN];
+            let declared =
+                u32::from_le_bytes(buf[total - CHECKSUM_LEN..].try_into().expect("4 bytes"));
+            if fnv1a(body) != declared {
+                return Err(DecodeError::BadChecksum);
+            }
+            Ok((buf[3], &body[HEADER_LEN..]))
+        }
+    }
+}
+
+/// Little-endian payload cursor; all reads bounds-checked into typed
+/// errors.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(DecodeError::TruncatedPayload)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::TruncatedPayload);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+fn is_request_type(ty: u8) -> bool {
+    matches!(
+        ty,
+        T_PREDICT | T_PREDICT_CLASS | T_RANK | T_UPDATE | T_SNAPSHOT
+    )
+}
+
+fn is_response_type(ty: u8) -> bool {
+    matches!(
+        ty,
+        T_VALUE | T_CLASS | T_RANKED | T_UPDATED | T_SNAPSHOT_DATA | T_ERROR
+    )
+}
+
+impl ProtocolDecode for Request {
+    fn check(buf: &[u8]) -> Result<ControlFlow<usize, usize>, DecodeError> {
+        check_frame(buf, is_request_type)
+    }
+
+    fn consume(buf: &[u8]) -> Result<Self, DecodeError> {
+        let (ty, payload) = split_frame(buf, is_request_type)?;
+        let mut r = Reader::new(payload);
+        let seq = r.u32()?;
+        let req = match ty {
+            T_PREDICT | T_PREDICT_CLASS => {
+                let i = r.u32()?;
+                let j = r.u32()?;
+                if ty == T_PREDICT {
+                    Request::Predict { seq, i, j }
+                } else {
+                    Request::PredictClass { seq, i, j }
+                }
+            }
+            T_RANK => Request::RankNeighbors {
+                seq,
+                i: r.u32()?,
+                top_k: r.u16()?,
+            },
+            T_UPDATE => {
+                let i = r.u32()?;
+                let j = r.u32()?;
+                let x = r.f64()?;
+                if !x.is_finite() {
+                    return Err(DecodeError::BadValue);
+                }
+                Request::Update { seq, i, j, x }
+            }
+            T_SNAPSHOT => Request::Snapshot {
+                seq,
+                shard: r.u16()?,
+            },
+            _ => unreachable!("split_frame validated the type"),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl ProtocolDecode for Response {
+    fn check(buf: &[u8]) -> Result<ControlFlow<usize, usize>, DecodeError> {
+        check_frame(buf, is_response_type)
+    }
+
+    fn consume(buf: &[u8]) -> Result<Self, DecodeError> {
+        let (ty, payload) = split_frame(buf, is_response_type)?;
+        let mut r = Reader::new(payload);
+        let seq = r.u32()?;
+        let resp = match ty {
+            T_VALUE => Response::Value {
+                seq,
+                value: r.f64()?,
+            },
+            T_CLASS => {
+                let class = r.u8()? as i8;
+                if class != 1 && class != -1 {
+                    return Err(DecodeError::BadValue);
+                }
+                Response::Class { seq, class }
+            }
+            T_RANKED => {
+                let count = r.u16()? as usize;
+                if count > MAX_RANKED {
+                    return Err(DecodeError::BadValue);
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = r.u32()?;
+                    let score = r.f64()?;
+                    entries.push((id, score));
+                }
+                Response::Ranked { seq, entries }
+            }
+            T_UPDATED => Response::Updated { seq },
+            T_SNAPSHOT_DATA => {
+                let len = r.u32()? as usize;
+                Response::SnapshotData {
+                    seq,
+                    json: r.take(len)?.to_vec(),
+                }
+            }
+            T_ERROR => {
+                let code = ErrorCode::from_u8(r.u8()?)?;
+                let len = r.u16()? as usize;
+                let message = std::str::from_utf8(r.take(len)?)
+                    .map_err(|_| DecodeError::BadValue)?
+                    .to_string();
+                Response::Error { seq, code, message }
+            }
+            _ => unreachable!("split_frame validated the type"),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc<T: ProtocolEncode>(msg: &T) -> Vec<u8> {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Predict { seq: 7, i: 1, j: 2 },
+            Request::PredictClass { seq: 8, i: 3, j: 4 },
+            Request::RankNeighbors {
+                seq: 9,
+                i: 5,
+                top_k: 32,
+            },
+            Request::Update {
+                seq: 10,
+                i: 6,
+                j: 7,
+                x: -1.0,
+            },
+            Request::Snapshot { seq: 11, shard: 3 },
+        ];
+        for req in &reqs {
+            let bytes = enc(req);
+            assert_eq!(
+                Request::check(&bytes).unwrap(),
+                ControlFlow::Break(bytes.len())
+            );
+            assert_eq!(&Request::consume(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Value {
+                seq: 1,
+                value: 0.25,
+            },
+            Response::Class { seq: 2, class: -1 },
+            Response::Ranked {
+                seq: 3,
+                entries: vec![(4, 1.5), (9, -0.25)],
+            },
+            Response::Updated { seq: 4 },
+            Response::SnapshotData {
+                seq: 5,
+                json: b"{\"x\":1}".to_vec(),
+            },
+            Response::Error {
+                seq: 6,
+                code: ErrorCode::Overloaded,
+                message: "window full".to_string(),
+            },
+        ];
+        for resp in &resps {
+            let bytes = enc(resp);
+            assert_eq!(
+                Response::check(&bytes).unwrap(),
+                ControlFlow::Break(bytes.len())
+            );
+            assert_eq!(&Response::consume(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn check_asks_for_more_bytes_until_a_full_frame_buffers() {
+        let bytes = enc(&Request::Predict { seq: 1, i: 2, j: 3 });
+        assert_eq!(
+            Request::check(&bytes[..4]).unwrap(),
+            ControlFlow::Continue(HEADER_LEN)
+        );
+        assert_eq!(
+            Request::check(&bytes[..HEADER_LEN]).unwrap(),
+            ControlFlow::Continue(bytes.len())
+        );
+        assert_eq!(
+            Request::check(&bytes[..bytes.len() - 1]).unwrap(),
+            ControlFlow::Continue(bytes.len())
+        );
+    }
+
+    #[test]
+    fn direction_confusion_is_a_bad_type() {
+        let req = enc(&Request::Predict { seq: 1, i: 2, j: 3 });
+        assert_eq!(Response::check(&req).unwrap_err(), DecodeError::BadType);
+        let resp = enc(&Response::Updated { seq: 1 });
+        assert_eq!(Request::check(&resp).unwrap_err(), DecodeError::BadType);
+    }
+
+    #[test]
+    fn corruption_is_typed_not_panicking() {
+        let mut bytes = enc(&Request::Update {
+            seq: 1,
+            i: 2,
+            j: 3,
+            x: 1.0,
+        });
+        bytes[HEADER_LEN + 4] ^= 0x40;
+        assert_eq!(
+            Request::consume(&bytes).unwrap_err(),
+            DecodeError::BadChecksum
+        );
+
+        let mut wrong_magic = enc(&Request::Snapshot { seq: 1, shard: 0 });
+        wrong_magic[0] ^= 0xFF;
+        assert_eq!(
+            Request::check(&wrong_magic).unwrap_err(),
+            DecodeError::BadMagic
+        );
+
+        let mut huge = enc(&Request::Snapshot { seq: 1, shard: 0 });
+        huge[4..8].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert_eq!(
+            Request::check(&huge).unwrap_err(),
+            DecodeError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn non_finite_update_values_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let bytes = enc(&Request::Update {
+                seq: 1,
+                i: 0,
+                j: 1,
+                x: bad,
+            });
+            assert_eq!(Request::consume(&bytes).unwrap_err(), DecodeError::BadValue);
+        }
+    }
+
+    #[test]
+    fn oversized_ranked_counts_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, T_RANKED, 6);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_RANKED as u16 + 1).to_le_bytes());
+        end_frame(&mut buf, start);
+        assert_eq!(Response::consume(&buf).unwrap_err(), DecodeError::BadValue);
+    }
+}

@@ -1,0 +1,433 @@
+//! The shard pool and query router: [`PredictionService`].
+//!
+//! A service hosts `shards` replicas of one DMFSGD population, each a
+//! full [`Session`] plus a published [`CoordView`], with authority
+//! over the coordinates partitioned by [`Partition`]: shard `s` is
+//! the *owner* of the node ids in `partition.range(s)` — updates for
+//! node `i` are applied only at `owner(i)`, so each replica's
+//! coordinates are authoritative exactly on its own range.
+//!
+//! Queries route by ownership. A prediction for `(i, j)` reads `u_i`
+//! from `owner(i)`'s published view and `v_j` from `owner(j)`'s; a
+//! rank query fans out across every shard owning one of `i`'s
+//! neighbors and merges with the same tie-break
+//! ([`dmf_core::session::rank_scored`]) the single-session queries
+//! use. Because an RTT update modifies only node `i`'s coordinates —
+//! reading the peer's reply `(u_j, v_j)`, exactly the paper's
+//! Algorithm 1 wire shape — the sharded service is *bit-identical* to
+//! one big session fed the same operations in the same order: the
+//! router ships `j`'s published reply coordinates to `owner(i)`,
+//! which applies them through [`Session::apply_rtt_remote`].
+//!
+//! Reads and writes split per shard: the [`Session`] sits behind a
+//! `Mutex` (writers serialize), the [`CoordView`] behind a `RwLock`
+//! (readers share). An update holds the session lock only for the
+//! `O(r)` SGD step and the view lock only for the `O(r)` republish,
+//! so predict traffic keeps flowing while training traffic lands.
+//!
+//! The service population is *static*: membership changes
+//! (join/leave) are a session-level concern not exposed through the
+//! query surface, which keeps every replica's membership flags
+//! trivially consistent.
+
+use crate::partition::Partition;
+use dmf_core::{
+    CoordView, DmfsgdConfig, DmfsgdError, MembershipError, NodeId, PredictionMode, Session,
+    Snapshot,
+};
+use std::sync::{Mutex, RwLock};
+
+/// One shard: the writable session and its published read view.
+struct Shard {
+    session: Mutex<Session>,
+    view: RwLock<CoordView>,
+}
+
+impl Shard {
+    fn new(session: Session) -> Self {
+        let view = RwLock::new(session.publish());
+        Self {
+            session: Mutex::new(session),
+            view,
+        }
+    }
+}
+
+/// A sharded, concurrently-queryable prediction service over one
+/// DMFSGD population (see the [module docs](self) for the ownership
+/// and consistency model).
+///
+/// All methods take `&self`; the service is `Sync` and meant to be
+/// shared across connection threads behind an `Arc`.
+pub struct PredictionService {
+    partition: Partition,
+    shards: Vec<Shard>,
+}
+
+/// Replicated membership checks against a published view, mirroring
+/// the session's error order and payloads exactly (the parity suite
+/// pins this).
+fn check_alive(view: &CoordView, id: NodeId) -> Result<(), MembershipError> {
+    if id >= view.len() {
+        Err(MembershipError::UnknownNode {
+            id,
+            slots: view.len(),
+        })
+    } else if !view.is_alive(id) {
+        Err(MembershipError::Departed { id })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_pair(vi: &CoordView, vj: &CoordView, i: NodeId, j: NodeId) -> Result<(), MembershipError> {
+    check_alive(vi, i)?;
+    check_alive(vj, j)?;
+    if i == j {
+        return Err(MembershipError::SelfPair { id: i });
+    }
+    Ok(())
+}
+
+impl PredictionService {
+    /// Builds a fresh service: `shards` identical session replicas of
+    /// an `n`-node population from `config` (coordinates are seeded by
+    /// `config.seed`, so every replica — and any single-session oracle
+    /// built from the same config — starts bit-identical).
+    pub fn build(config: DmfsgdConfig, n: usize, shards: usize) -> Result<Self, DmfsgdError> {
+        let partition = Partition::new(n, shards)?;
+        let sessions = (0..shards)
+            .map(|_| {
+                Session::builder()
+                    .config(config)
+                    .nodes(n)
+                    .build()
+                    .map_err(DmfsgdError::from)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_sessions(partition, sessions))
+    }
+
+    /// Serves an already-trained population: every shard restores the
+    /// same `snapshot`, then owns its partition range from there. This
+    /// is the deploy path — train one session offline, snapshot it,
+    /// and stand up a sharded service in front of it.
+    pub fn from_snapshot(snapshot: &Snapshot, shards: usize) -> Result<Self, DmfsgdError> {
+        let reference = Session::restore(snapshot)?;
+        let partition = Partition::new(reference.len(), shards)?;
+        let mut sessions = Vec::with_capacity(shards);
+        for _ in 1..shards {
+            sessions.push(Session::restore(snapshot)?);
+        }
+        sessions.push(reference);
+        Ok(Self::from_sessions(partition, sessions))
+    }
+
+    fn from_sessions(partition: Partition, sessions: Vec<Session>) -> Self {
+        Self {
+            partition,
+            shards: sessions.into_iter().map(Shard::new).collect(),
+        }
+    }
+
+    /// The id partition routing queries to shards.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of node slots served.
+    pub fn len(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// True when the service covers no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.partition.is_empty()
+    }
+
+    /// Raw predictor output `u_i · v_j` plus the prediction mode, read
+    /// from the owning shards' published views.
+    fn scored(&self, i: NodeId, j: NodeId) -> Result<(f64, PredictionMode), DmfsgdError> {
+        let oi = self.partition.owner(i.min(self.len())); // clamp: membership check rejects below
+        let oj = self.partition.owner(j.min(self.len()));
+        if oi == oj {
+            let v = self.shards[oi].view.read().expect("shard view lock");
+            check_pair(&v, &v, i, j)?;
+            let (ci, cj) = (v.coords(i).expect("alive"), v.coords(j).expect("alive"));
+            Ok((ci.predict_to(cj), v.mode()))
+        } else {
+            // Two shard views; acquire in ascending shard order so
+            // concurrent cross-shard readers and per-shard writers
+            // cannot form a cycle.
+            let (lo, hi) = (oi.min(oj), oi.max(oj));
+            let vlo = self.shards[lo].view.read().expect("shard view lock");
+            let vhi = self.shards[hi].view.read().expect("shard view lock");
+            let (vi, vj) = if oi == lo { (&vlo, &vhi) } else { (&vhi, &vlo) };
+            check_pair(vi, vj, i, j)?;
+            let (ci, cj) = (vi.coords(i).expect("alive"), vj.coords(j).expect("alive"));
+            Ok((ci.predict_to(cj), vi.mode()))
+        }
+    }
+
+    /// Predicted measure for the path `i → j` in natural units —
+    /// [`Session::predict`] semantics over the sharded views.
+    pub fn predict(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
+        let (raw, mode) = self.scored(i, j)?;
+        Ok(match mode {
+            PredictionMode::Class => raw,
+            PredictionMode::Quantity { value_scale } => raw * value_scale,
+        })
+    }
+
+    /// Predicted class (`+1.0` / `-1.0`) for the path `i → j` —
+    /// [`Session::predict_class`] semantics over the sharded views.
+    pub fn predict_class(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
+        Ok(if self.scored(i, j)?.0 >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        })
+    }
+
+    /// Node `i`'s neighbors ranked by predicted score into a
+    /// caller-owned buffer — [`Session::rank_neighbors_into`]
+    /// semantics, cross-shard. With one shard this is a direct
+    /// [`CoordView::rank_neighbors_into`] call; with more, the router
+    /// fans out over every owning shard's view and merges with the
+    /// shared tie-break, bit-identically to the single-session query.
+    pub fn rank_neighbors_into(
+        &self,
+        i: NodeId,
+        top_k: usize,
+        out: &mut Vec<(NodeId, f64)>,
+    ) -> Result<(), DmfsgdError> {
+        if self.shards.len() == 1 {
+            return self.shards[0]
+                .view
+                .read()
+                .expect("shard view lock")
+                .rank_neighbors_into(i, top_k, out);
+        }
+        out.clear();
+        // Consistent fan-out read: all views, ascending shard order.
+        let views: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.view.read().expect("shard view lock"))
+            .collect();
+        let oi = self.partition.owner(i.min(self.len()));
+        check_alive(&views[oi], i)?;
+        let ci = views[oi].coords(i).expect("alive");
+        // Neighbor rows are replicated (same seed), so any view serves.
+        out.extend(views[oi].neighbors().neighbors(i).iter().map(|&j| {
+            let cj = views[self.partition.owner(j)].coords(j).expect("in range");
+            (j, ci.predict_to(cj))
+        }));
+        dmf_core::session::rank_scored(out, top_k);
+        Ok(())
+    }
+
+    /// Allocating convenience form of
+    /// [`rank_neighbors_into`](Self::rank_neighbors_into).
+    pub fn rank_neighbors(
+        &self,
+        i: NodeId,
+        top_k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, DmfsgdError> {
+        let mut out = Vec::new();
+        self.rank_neighbors_into(i, top_k, &mut out)?;
+        Ok(out)
+    }
+
+    /// Applies an RTT-class measurement `x` for the pair `(i, j)`:
+    /// reads `j`'s published reply coordinates at `owner(j)`, applies
+    /// the Algorithm 1 step at `owner(i)` through
+    /// [`Session::apply_rtt_remote`], and republishes `i`'s slot.
+    /// Sequentially this is bit-identical to
+    /// `Session::apply_measurement(i, j, x, Metric::Rtt)` on a single
+    /// session.
+    pub fn update_rtt(&self, i: NodeId, j: NodeId, x: f64) -> Result<(), DmfsgdError> {
+        let oj = self.partition.owner(j.min(self.len()));
+        // Fetch the reply under the read lock, then drop it before
+        // touching owner(i)'s locks — no lock is held while acquiring
+        // a lock of another kind.
+        let (u_j, v_j) = {
+            let vj = self.shards[oj].view.read().expect("shard view lock");
+            // Membership flags are replicated, so owner(j)'s view can
+            // run the full pair check in the session's order.
+            check_pair(&vj, &vj, i, j)?;
+            let cj = vj.coords(j).expect("alive");
+            (cj.u.to_vec(), cj.v.to_vec())
+        };
+        let oi = self.partition.owner(i);
+        let shard = &self.shards[oi];
+        let mut session = shard.session.lock().expect("shard session lock");
+        session.apply_rtt_remote(i, x, &u_j, &v_j)?;
+        shard
+            .view
+            .write()
+            .expect("shard view lock")
+            .republish_node(&session, i)
+    }
+
+    /// JSON snapshot of shard `shard`'s session (authoritative for its
+    /// own partition range; replica state elsewhere).
+    pub fn snapshot_json(&self, shard: usize) -> Result<Vec<u8>, DmfsgdError> {
+        let Some(s) = self.shards.get(shard) else {
+            return Err(DmfsgdError::Transport(format!(
+                "snapshot of shard {shard}, but the service has {} shards",
+                self.shards.len()
+            )));
+        };
+        let session = s.session.lock().expect("shard session lock");
+        Ok(session.snapshot().to_json().into_bytes())
+    }
+
+    /// Total measurements applied across all shards (each update lands
+    /// on exactly one shard, so this is the service-wide count).
+    pub fn measurements_used(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.session
+                    .lock()
+                    .expect("shard session lock")
+                    .measurements_used()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_core::SessionBuilder;
+
+    fn config(n: usize, seed: u64) -> DmfsgdConfig {
+        // Build through the validated path so defaults stay in sync.
+        let s = SessionBuilder::new()
+            .nodes(n)
+            .seed(seed)
+            .build()
+            .expect("valid");
+        *s.config()
+    }
+
+    #[test]
+    fn replicas_start_identical_to_the_oracle() {
+        let cfg = config(30, 7);
+        let oracle = Session::builder().config(cfg).nodes(30).build().unwrap();
+        let svc = PredictionService::build(cfg, 30, 3).unwrap();
+        for i in 0..30 {
+            for j in 0..30 {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    svc.predict(i, j).unwrap(),
+                    oracle.predict(i, j).unwrap(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn updates_route_to_the_owner_and_stay_oracle_exact() {
+        let cfg = config(24, 8);
+        let mut oracle = Session::builder().config(cfg).nodes(24).build().unwrap();
+        let svc = PredictionService::build(cfg, 24, 4).unwrap();
+        // A deterministic mixed schedule crossing every shard pair.
+        let mut x = 1.0;
+        for step in 0..400usize {
+            let i = (step * 7) % 24;
+            let j = (i + 1 + (step * 5) % 23) % 24;
+            svc.update_rtt(i, j, x).unwrap();
+            oracle
+                .apply_measurement(i, j, x, dmf_datasets::Metric::Rtt)
+                .unwrap();
+            x = -x;
+        }
+        assert_eq!(svc.measurements_used(), 400);
+        for i in 0..24 {
+            for j in 0..24 {
+                if i == j {
+                    continue;
+                }
+                let a = svc.predict(i, j).unwrap();
+                let b = oracle.predict(i, j).unwrap();
+                assert!(a == b, "({i},{j}): {a} != {b}");
+            }
+            assert_eq!(
+                svc.rank_neighbors(i, 8).unwrap(),
+                oracle.rank_neighbors(i, 8).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn membership_errors_match_the_session_surface() {
+        let cfg = config(12, 9);
+        let svc = PredictionService::build(cfg, 12, 2).unwrap();
+        let oracle = Session::builder().config(cfg).nodes(12).build().unwrap();
+        assert_eq!(
+            svc.predict(3, 3).unwrap_err(),
+            oracle.predict(3, 3).unwrap_err()
+        );
+        assert_eq!(
+            svc.predict(0, 99).unwrap_err(),
+            oracle.predict(0, 99).unwrap_err()
+        );
+        assert_eq!(
+            svc.update_rtt(99, 0, 1.0).unwrap_err(),
+            oracle.rank_neighbors(99, 1).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_wireable_json() {
+        let cfg = config(12, 10);
+        let svc = PredictionService::build(cfg, 12, 2).unwrap();
+        svc.update_rtt(0, 1, 1.0).unwrap();
+        let json = svc.snapshot_json(0).unwrap();
+        let snap = Snapshot::from_json(std::str::from_utf8(&json).unwrap()).unwrap();
+        let restored = Session::restore(&snap).unwrap();
+        assert_eq!(restored.len(), 12);
+        assert!(matches!(
+            svc.snapshot_json(5).unwrap_err(),
+            DmfsgdError::Transport(_)
+        ));
+    }
+
+    #[test]
+    fn from_snapshot_serves_a_pretrained_population() {
+        let cfg = config(16, 11);
+        let mut trained = Session::builder().config(cfg).nodes(16).build().unwrap();
+        for step in 0..200usize {
+            let i = step % 16;
+            let j = (i + 1 + step % 15) % 16;
+            trained
+                .apply_measurement(
+                    i,
+                    j,
+                    if step % 3 == 0 { -1.0 } else { 1.0 },
+                    dmf_datasets::Metric::Rtt,
+                )
+                .unwrap();
+        }
+        let svc = PredictionService::from_snapshot(&trained.snapshot(), 4).unwrap();
+        for i in 0..16 {
+            for j in 0..16 {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(svc.predict(i, j).unwrap(), trained.predict(i, j).unwrap());
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`eval`] | `dmf-eval` | ROC/AUC, PR, confusion, convergence, peer selection |
 //! | [`proto`] | `dmf-proto` | binary wire protocol |
 //! | [`baselines`] | `dmf-baselines` | Vivaldi, centralized MF, oracle selection |
+//! | [`service`] | `dmf-service` | sharded, pipelined prediction service |
 //! | [`agent`] | `dmf-agent` | real UDP deployment |
 //!
 //! A narrative walk-through (experiment end-to-end, choosing the
@@ -89,6 +90,10 @@
 //! ([`core::session::OracleDriver`]), the discrete-event simulator
 //! ([`core::runner::SimnetDriver`]) or real UDP sockets
 //! ([`agent::UdpDriver`]) — all through the one [`Driver`] trait.
+//! To put a trained population behind a query surface, [`service`]
+//! shards it behind a framed, pipelined wire protocol whose answers
+//! are bit-identical to a single session's
+//! (`examples/prediction_service.rs` is the end-to-end tour).
 
 pub use dmf_agent as agent;
 pub use dmf_baselines as baselines;
@@ -97,6 +102,7 @@ pub use dmf_datasets as datasets;
 pub use dmf_eval as eval;
 pub use dmf_linalg as linalg;
 pub use dmf_proto as proto;
+pub use dmf_service as service;
 pub use dmf_simnet as simnet;
 
 pub use dmf_core::{

@@ -162,4 +162,12 @@ fn every_reexported_crate_is_reachable() {
     let oracle = MeasurementOracle::new(dataset, tau, 5);
     let label = oracle.measure_class(0, 1).expect("off-diagonal measurable");
     assert!(label == 1.0 || label == -1.0);
+
+    // service
+    let partition = dmfsgd::service::Partition::new(16, 4).expect("valid partition");
+    assert_eq!(partition.owner(0), 0);
+    let svc =
+        dmfsgd::service::PredictionService::build(*session.config(), 16, 4).expect("valid service");
+    svc.update_rtt(0, 1, 1.0).expect("routed update");
+    assert!(svc.predict(0, 1).expect("served prediction").is_finite());
 }

@@ -18,10 +18,17 @@ GUARDS=(
   "crates/core/src/lib.rs:session"
   "crates/core/src/lib.rs:snapshot"
   "crates/core/src/lib.rs:error"
+  "crates/core/src/lib.rs:view"
   "crates/agent/src/lib.rs:driver"
   "crates/datasets/src/lib.rs:scenario"
   "crates/eval/src/lib.rs:window"
   "crates/linalg/src/lib.rs:simd"
+  "crates/service/src/lib.rs:client"
+  "crates/service/src/lib.rs:connection"
+  "crates/service/src/lib.rs:loopback"
+  "crates/service/src/lib.rs:partition"
+  "crates/service/src/lib.rs:protocol"
+  "crates/service/src/lib.rs:service"
 )
 
 fail=0
