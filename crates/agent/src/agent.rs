@@ -29,8 +29,10 @@
 //! as sequence gaps, stale deltas are dropped (never half-applied),
 //! and the decoder's piggybacked ack asks for a keyframe to resync.
 
+use crate::metrics::AgentMetricsSlot;
 use crate::oracle::MeasurementOracle;
 use crate::transport::Transport;
+use dmf_core::coords::dot;
 use dmf_core::{DmfsgdConfig, DmfsgdError, DmfsgdNode, MembershipError};
 use dmf_datasets::Metric;
 use dmf_proto::{
@@ -75,6 +77,26 @@ pub struct AgentStats {
     pub bytes_received: u64,
 }
 
+impl AgentStats {
+    /// Adds another agent's (or run's) counters into this one —
+    /// how a fleet slot accumulates totals across leave/rejoin
+    /// cycles, and how a cluster folds per-agent stats into one dump.
+    pub fn merge(&mut self, other: &Self) {
+        self.probes_sent += other.probes_sent;
+        self.updates_applied += other.updates_applied;
+        self.decode_errors += other.decode_errors;
+        self.unmatched_replies += other.unmatched_replies;
+        self.retries += other.retries;
+        self.probes_abandoned += other.probes_abandoned;
+        self.evictions += other.evictions;
+        self.gaps_detected += other.gaps_detected;
+        self.keyframes_sent += other.keyframes_sent;
+        self.stale_deltas += other.stale_deltas;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
 /// Everything an agent thread needs to run.
 pub struct AgentHandle<T: Transport = std::net::UdpSocket> {
     /// The node this agent embodies — its starting coordinates. A
@@ -104,6 +126,12 @@ pub struct AgentHandle<T: Transport = std::net::UdpSocket> {
     pub probe_timeout: Duration,
     /// Retransmissions allowed per probe before it is abandoned.
     pub max_retries: u32,
+    /// Optional live metrics mirror: the loop flushes its counters
+    /// here every probe firing and records each applied update's
+    /// (ground truth, pre-update score) pair into its quality window.
+    /// `None` (the batch-cluster default) leaves the hot path
+    /// untouched.
+    pub metrics: Option<Arc<AgentMetricsSlot>>,
 }
 
 /// One in-flight probe awaiting its reply.
@@ -144,6 +172,7 @@ pub fn run_agent<T: Transport>(
         wire,
         probe_timeout,
         max_retries,
+        metrics,
     } = handle;
     let id = node.id;
     if neighbors.is_empty() {
@@ -237,6 +266,16 @@ pub fn run_agent<T: Transport>(
                 deadline: now + probe_timeout,
                 attempts: 1,
             });
+            // Once per probe period is frequent enough for a live
+            // view and cheap enough (a dozen relaxed stores) not to
+            // matter; the context counters are folded in so the live
+            // mirror sees them without waiting for loop exit.
+            if let Some(slot) = &metrics {
+                let mut flushed = stats;
+                flushed.gaps_detected = dec_ctxs.values().map(|d| d.gaps_detected()).sum();
+                flushed.keyframes_sent = enc_ctxs.values().map(|e| e.keyframes_sent()).sum();
+                slot.flush(&flushed);
+            }
         }
 
         // -- retransmit expired probes (jittered backoff) -------------
@@ -298,6 +337,7 @@ pub fn run_agent<T: Transport>(
                 &params,
                 &mut outstanding,
                 &mut stats,
+                metrics.as_deref(),
             ),
             WireMessage::V2(msg) => handle_v2(
                 msg,
@@ -312,6 +352,7 @@ pub fn run_agent<T: Transport>(
                 &mut enc_ctxs,
                 &mut dec_ctxs,
                 &mut stats,
+                metrics.as_deref(),
             ),
         }
     }
@@ -319,6 +360,9 @@ pub fn run_agent<T: Transport>(
     // Fold per-peer context counters into the agent totals.
     stats.gaps_detected = dec_ctxs.values().map(|d| d.gaps_detected()).sum();
     stats.keyframes_sent = enc_ctxs.values().map(|e| e.keyframes_sent()).sum();
+    if let Some(slot) = &metrics {
+        slot.flush(&stats);
+    }
 
     Ok((node, stats))
 }
@@ -342,6 +386,7 @@ fn handle_v1<T: Transport>(
     params: &dmf_core::SgdParams,
     outstanding: &mut Vec<Outstanding>,
     stats: &mut AgentStats,
+    metrics: Option<&AgentMetricsSlot>,
 ) {
     let id = node.id;
     match msg {
@@ -368,6 +413,9 @@ fn handle_v1<T: Transport>(
                 return;
             }
             if let Some(x) = oracle.rtt_class(id, target) {
+                if let Some(slot) = metrics {
+                    slot.record_quality(x > 0.0, dot(&node.coords.u, &v));
+                }
                 node.on_rtt_measurement(x, &u, &v, params);
                 stats.updates_applied += 1;
             }
@@ -409,6 +457,9 @@ fn handle_v1<T: Transport>(
                 stats.decode_errors += 1;
                 return;
             }
+            if let Some(slot) = metrics {
+                slot.record_quality(x > 0.0, dot(&node.coords.u, &v));
+            }
             node.on_abw_reply(x, &v, params);
             stats.updates_applied += 1;
         }
@@ -431,6 +482,7 @@ fn handle_v2<T: Transport>(
     enc_ctxs: &mut HashMap<usize, EncoderContext>,
     dec_ctxs: &mut HashMap<usize, DecoderContext>,
     stats: &mut AgentStats,
+    metrics: Option<&AgentMetricsSlot>,
 ) {
     let id = node.id;
     match msg {
@@ -476,6 +528,9 @@ fn handle_v2<T: Transport>(
             }
             let (u, v) = coords.split_at(config.rank);
             if let Some(x) = oracle.rtt_class(id, target) {
+                if let Some(slot) = metrics {
+                    slot.record_quality(x > 0.0, dot(&node.coords.u, v));
+                }
                 node.on_rtt_measurement(x, u, v, params);
                 stats.updates_applied += 1;
             }
@@ -554,6 +609,9 @@ fn handle_v2<T: Transport>(
             if v.len() != config.rank {
                 stats.decode_errors += 1;
                 return;
+            }
+            if let Some(slot) = metrics {
+                slot.record_quality(x > 0.0, dot(&node.coords.u, &v));
             }
             node.on_abw_reply(x, &v, params);
             stats.updates_applied += 1;

@@ -91,6 +91,21 @@ impl ClusterOutcome {
     pub fn total_bytes_sent(&self) -> u64 {
         self.stats.iter().map(|s| s.bytes_sent).sum()
     }
+
+    /// All per-agent counters folded into one [`AgentStats`].
+    pub fn merged_stats(&self) -> AgentStats {
+        let mut total = AgentStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// One-shot exposition dump of the whole run's merged counters
+    /// (see [`crate::metrics::stats_snapshot`]).
+    pub fn metrics_snapshot(&self) -> dmf_ops::MetricsSnapshot {
+        crate::metrics::stats_snapshot(&self.merged_stats())
+    }
 }
 
 /// A running (or finished) localhost deployment.
@@ -213,6 +228,7 @@ impl UdpCluster {
                     wire: config.wire,
                     probe_timeout: config.probe_timeout,
                     max_retries: config.max_retries,
+                    metrics: None,
                 };
                 let seed = $seed;
                 thread::spawn(move || run_agent(handle, seed))

@@ -21,6 +21,14 @@
 //!   bit-flip) for deterministic loss-hardening tests.
 //! * [`cluster`] — spawn-N-agents harness used by tests, examples and
 //!   benchmarks.
+//! * [`fleet`] — [`Fleet`], the long-running operational deployment:
+//!   live join/leave of individual agents, a rolling fault-model
+//!   swap, stop-the-world checkpoints, and the fleet-wide
+//!   metrics/health surface.
+//! * [`metrics`] — the agent-side observability surface: the
+//!   [`AgentStats`] metric table, a one-shot exposition dump, and the
+//!   live per-slot mirror ([`metrics::AgentMetricsSlot`]) feeding the
+//!   fleet's counters and shared rolling-AUC quality window.
 //! * [`driver`] — [`UdpDriver`], the real-socket implementation of
 //!   [`dmf_core::session::Driver`]: one wall-clock cluster burst per
 //!   round, coordinates seeded from and written back to a
@@ -31,9 +39,10 @@
 //! The deployment tip of the DAG: node state machines come from
 //! [`dmf_core::node`], the wire format from [`dmf_proto`], probe
 //! instruments from [`dmf_simnet::probe`], ground truth from
-//! [`dmf_datasets`], and outcome scoring from [`dmf_eval`]. Nothing
-//! depends on this crate — it exists to prove the algorithm runs on
-//! real sockets.
+//! [`dmf_datasets`], outcome scoring from [`dmf_eval`], and the
+//! metric/health vocabulary from [`dmf_ops`]. Nothing depends on this
+//! crate — it exists to prove the algorithm runs (and can be
+//! operated) on real sockets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +51,17 @@ pub mod agent;
 pub mod cluster;
 #[deny(missing_docs)]
 pub mod driver;
+#[deny(missing_docs)]
+pub mod fleet;
+#[deny(missing_docs)]
+pub mod metrics;
 pub mod oracle;
 pub mod transport;
 
 pub use agent::{run_agent, AgentHandle, AgentStats};
 pub use cluster::{ClusterConfig, ClusterOutcome, UdpCluster};
 pub use driver::UdpDriver;
+pub use fleet::{Fleet, FLEET_GAUGE_NAMES, FLEET_QUALITY_WINDOW};
+pub use metrics::{stats_snapshot, AgentMetricsSlot, StatMetric, STAT_METRICS};
 pub use oracle::MeasurementOracle;
 pub use transport::{FaultySocket, Transport};

@@ -97,6 +97,7 @@ fn v1_and_v2_agents_interoperate() {
             },
             probe_timeout: Duration::from_millis(40),
             max_retries: 2,
+            metrics: None,
         };
         handles.push(thread::spawn(move || run_agent(handle, 1000 + id as u64)));
     }
@@ -145,6 +146,7 @@ fn no_neighbors_is_a_typed_error() {
         wire: WireVersion::V2,
         probe_timeout: Duration::from_millis(40),
         max_retries: 2,
+        metrics: None,
     };
     match run_agent(handle, 0) {
         Err(DmfsgdError::Membership(MembershipError::NoNeighbors { id })) => assert_eq!(id, 7),

@@ -320,6 +320,18 @@ pub enum MembershipError {
         /// The agent's node id.
         id: NodeId,
     },
+    /// A fleet join named an agent slot that is already running (see
+    /// `dmf-agent`'s `Fleet`).
+    AlreadyRunning {
+        /// The agent's node id.
+        id: NodeId,
+    },
+    /// A fleet leave named an agent slot with no running agent (see
+    /// `dmf-agent`'s `Fleet`).
+    NotRunning {
+        /// The agent's node id.
+        id: NodeId,
+    },
 }
 
 impl fmt::Display for MembershipError {
@@ -348,6 +360,10 @@ impl fmt::Display for MembershipError {
             }
             MembershipError::TraceNotTimeOrdered => write!(f, "trace must be time-ordered"),
             MembershipError::NoNeighbors { id } => write!(f, "agent {id} has no neighbors"),
+            MembershipError::AlreadyRunning { id } => {
+                write!(f, "agent {id} is already running")
+            }
+            MembershipError::NotRunning { id } => write!(f, "agent {id} is not running"),
         }
     }
 }

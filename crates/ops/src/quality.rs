@@ -1,0 +1,160 @@
+//! The live quality window: a shareable, thread-safe wrapper over
+//! [`dmf_eval::window::RollingAuc`].
+//!
+//! Instrumented surfaces record `(measurement class, raw score)`
+//! pairs as they observe them — the agent when a probe reply arrives
+//! (scored against its coordinates *before* applying the update), the
+//! service when an `Update` request carries ground truth. The health
+//! layer then reads the window's AUC as the live quality signal.
+//! Because the window is the exact `RollingAuc` the offline
+//! evaluation uses, the live gauge and an offline windowed AUC over
+//! the same pair stream agree bit-for-bit — the property the
+//! live-vs-offline agreement test pins.
+//!
+//! Recording takes a mutex, not an atomic — quality pairs arrive at
+//! measurement cadence (per probe round / per update request), orders
+//! of magnitude below the counter hot paths, and the guarded work is
+//! a ring-slot write.
+
+use dmf_eval::window::{RollingAuc, WindowStats};
+use std::sync::Mutex;
+
+/// A shared live quality window. Clone-free by design: share it via
+/// `Arc<LiveQuality>`.
+#[derive(Debug)]
+pub struct LiveQuality {
+    ring: Mutex<RollingAuc>,
+}
+
+impl LiveQuality {
+    /// An empty window over the `capacity` most recent pairs.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (same contract as
+    /// [`RollingAuc::new`]).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(RollingAuc::new(capacity)),
+        }
+    }
+
+    /// Records one observed pair: was the link actually in the
+    /// positive class, and what raw score did the model give it.
+    pub fn record(&self, positive: bool, score: f64) {
+        self.ring
+            .lock()
+            .expect("quality lock")
+            .record(positive, score);
+    }
+
+    /// Pairs currently held (`<= capacity`).
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("quality lock").len()
+    }
+
+    /// True when no pairs are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().expect("quality lock").is_empty()
+    }
+
+    /// Maximum pairs retained.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().expect("quality lock").capacity()
+    }
+
+    /// Rolling AUC; `None` while the window holds only one class.
+    pub fn auc(&self) -> Option<f64> {
+        self.ring.lock().expect("quality lock").auc()
+    }
+
+    /// Sign accuracy; `None` while empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        self.ring.lock().expect("quality lock").accuracy()
+    }
+
+    /// Full window statistics; `None` while the window holds only one
+    /// class.
+    pub fn stats(&self) -> Option<WindowStats> {
+        self.ring.lock().expect("quality lock").stats()
+    }
+
+    /// Drops every pair (e.g. after a restore, so stale pairs cannot
+    /// vouch for fresh coordinates). The member goes `Unready` until
+    /// the window warms back up.
+    pub fn clear(&self) {
+        self.ring.lock().expect("quality lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmf_eval::window::window_stats;
+    use dmf_eval::ScoredLabel;
+    use std::sync::Arc;
+
+    #[test]
+    fn matches_the_underlying_rolling_window_exactly() {
+        let stream = [
+            (true, 0.9),
+            (false, 0.4),
+            (true, 0.6),
+            (false, -0.2),
+            (true, -0.5),
+        ];
+        let live = LiveQuality::new(4);
+        let mut offline = RollingAuc::new(4);
+        for &(p, s) in &stream {
+            live.record(p, s);
+            offline.record(p, s);
+        }
+        assert_eq!(live.stats(), offline.stats());
+        assert_eq!(live.len(), 4);
+        assert_eq!(live.capacity(), 4);
+    }
+
+    #[test]
+    fn full_window_equals_offline_batch_stats() {
+        let stream = [(true, 1.0), (false, 0.5), (true, 0.8), (false, -0.1)];
+        let live = LiveQuality::new(stream.len());
+        for &(p, s) in &stream {
+            live.record(p, s);
+        }
+        let batch: Vec<ScoredLabel> = stream
+            .iter()
+            .map(|&(positive, score)| ScoredLabel { positive, score })
+            .collect();
+        assert_eq!(live.stats(), window_stats(&batch));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let live = Arc::new(LiveQuality::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        live.record(i % 2 == 0, (t * 8 + i) as f64 - 16.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        assert_eq!(live.len(), 32);
+        assert!(live.auc().is_some());
+    }
+
+    #[test]
+    fn clear_empties_the_window() {
+        let live = LiveQuality::new(8);
+        live.record(true, 1.0);
+        live.record(false, -1.0);
+        assert!(!live.is_empty());
+        live.clear();
+        assert!(live.is_empty());
+        assert_eq!(live.auc(), None);
+    }
+}

@@ -1,0 +1,472 @@
+//! Typed metric handles and the [`Registry`] that owns them.
+//!
+//! A registry is the write side of the observability layer: a process
+//! registers every metric it will ever emit up front — each
+//! registration returns a cheap cloneable handle — and hot paths
+//! update the handles with single atomic operations. No locks are
+//! taken after registration (the registry's own mutex guards only
+//! registration and snapshotting), so instrumentation is safe to
+//! leave enabled on the training and serving hot paths.
+//!
+//! Three metric types cover the fleet surface, mirroring the usual
+//! exposition vocabulary:
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (events, bytes).
+//!   Counters may also be `store`d absolutely, which is how
+//!   aggregators (the fleet exporter summing per-agent slots) publish
+//!   totals they compute elsewhere; the stored sequence must still be
+//!   monotonic for scrapers to rate() it meaningfully.
+//! * [`Gauge`] — an `f64` that goes up and down (rolling AUC,
+//!   admission-window depth, staleness seconds).
+//! * [`Histogram`] — fixed integer bucket bounds chosen at
+//!   registration (latency in microseconds); observation is a bucket
+//!   scan over ≤ a few dozen bounds plus two atomic adds.
+//!
+//! The exported names, types and semantics are a **documented public
+//! contract**: every metric registered by the in-tree surfaces is
+//! listed in `docs/operations.md`, and the cross-check test in the
+//! workspace root fails CI when the two drift apart.
+
+use crate::export::{MetricKind, MetricSample, MetricsSnapshot, SampleValue};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The unit of a metric's value, carried into the exporters and the
+/// reference documentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Dimensionless (event counts, depths).
+    None,
+    /// Bytes.
+    Bytes,
+    /// Microseconds.
+    Micros,
+    /// Seconds.
+    Seconds,
+    /// A ratio in `[0, 1]` (AUC, rejection rate).
+    Ratio,
+    /// Samples currently held in a window.
+    Samples,
+}
+
+impl Unit {
+    /// The unit's name in the JSON exposition (`""` for
+    /// [`Unit::None`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::None => "",
+            Unit::Bytes => "bytes",
+            Unit::Micros => "us",
+            Unit::Seconds => "s",
+            Unit::Ratio => "ratio",
+            Unit::Samples => "samples",
+        }
+    }
+}
+
+/// The static description of one metric: name, help line, unit and
+/// fixed labels. Registration validates the name (lowercase
+/// `[a-z0-9_]`, starting with a letter) and rejects duplicate
+/// `(name, labels)` pairs.
+#[derive(Clone, Debug)]
+pub struct MetricDesc {
+    /// Exported metric name (e.g. `dmf_agent_probes_sent_total`).
+    pub name: &'static str,
+    /// One-line meaning, exported as the `# HELP` line.
+    pub help: &'static str,
+    /// Value unit.
+    pub unit: Unit,
+    /// Fixed label pairs attached to every sample of this series
+    /// (e.g. `[("shard", "3")]`).
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricDesc {
+    /// A label-free descriptor.
+    pub fn plain(name: &'static str, help: &'static str, unit: Unit) -> Self {
+        Self {
+            name,
+            help,
+            unit,
+            labels: Vec::new(),
+        }
+    }
+
+    /// A descriptor with one label pair.
+    pub fn labeled(
+        name: &'static str,
+        help: &'static str,
+        unit: Unit,
+        key: &'static str,
+        value: impl Into<String>,
+    ) -> Self {
+        Self {
+            name,
+            help,
+            unit,
+            labels: vec![(key, value.into())],
+        }
+    }
+
+    fn validate(&self) {
+        let mut chars = self.name.chars();
+        let head_ok = chars.next().is_some_and(|c| c.is_ascii_lowercase());
+        let tail_ok = self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        assert!(
+            head_ok && tail_ok,
+            "metric name {:?} must match [a-z][a-z0-9_]*",
+            self.name
+        );
+        for (k, _) in &self.labels {
+            let head_ok = k.chars().next().is_some_and(|c| c.is_ascii_lowercase());
+            let tail_ok = k
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            assert!(
+                head_ok && tail_ok,
+                "label key {k:?} must match [a-z][a-z0-9_]*"
+            );
+        }
+        assert!(
+            !self.help.is_empty(),
+            "metric {:?} needs help text",
+            self.name
+        );
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the
+/// underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Stores an absolute value (aggregator path — the stored
+    /// sequence must stay monotonic).
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point gauge handle (bit-cast through an atomic `u64`).
+/// Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Stores a value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram handle over non-negative integer values
+/// (the service uses microseconds). `bounds` are inclusive upper
+/// bucket bounds in strictly increasing order; one implicit overflow
+/// bucket catches everything larger. Cloning shares the cells.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    /// One slot per bound plus the overflow slot.
+    counts: Arc<Vec<AtomicU64>>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must strictly increase"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: Arc::new(bounds),
+            counts: Arc::new(counts),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The configured bucket bounds (without the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    fn sample(&self) -> SampleValue {
+        SampleValue::Histogram {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+        }
+    }
+}
+
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    desc: MetricDesc,
+    handle: Handle,
+}
+
+/// The metric registry: owns every registered series and produces
+/// point-in-time [`MetricsSnapshot`]s for the exporters.
+///
+/// # Panics
+///
+/// Registration panics on an invalid name, empty help text, or a
+/// duplicate `(name, labels)` pair — all programmer errors caught at
+/// process start, never at scrape or update time. Updates and
+/// snapshots never panic.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, desc: MetricDesc, handle: Handle) {
+        desc.validate();
+        let mut entries = self.entries.lock().expect("registry lock");
+        assert!(
+            !entries
+                .iter()
+                .any(|e| e.desc.name == desc.name && e.desc.labels == desc.labels),
+            "metric {:?} with labels {:?} registered twice",
+            desc.name,
+            desc.labels
+        );
+        if let Some(prior) = entries.iter().find(|e| e.desc.name == desc.name) {
+            assert!(
+                std::mem::discriminant(&prior.handle) == std::mem::discriminant(&handle),
+                "metric {:?} registered with two different types",
+                desc.name
+            );
+        }
+        entries.push(Entry { desc, handle });
+    }
+
+    /// Registers a counter series and returns its handle.
+    pub fn counter(&self, desc: MetricDesc) -> Counter {
+        let c = Counter::default();
+        self.register(desc, Handle::Counter(c.clone()));
+        c
+    }
+
+    /// Registers a gauge series and returns its handle.
+    pub fn gauge(&self, desc: MetricDesc) -> Gauge {
+        let g = Gauge::default();
+        self.register(desc, Handle::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers a histogram series with the given inclusive upper
+    /// bucket bounds (strictly increasing; an overflow bucket is
+    /// implicit) and returns its handle.
+    pub fn histogram(&self, desc: MetricDesc, bounds: &[u64]) -> Histogram {
+        let h = Histogram::new(bounds.to_vec());
+        self.register(desc, Handle::Histogram(h.clone()));
+        h
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry lock").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of every registered series, sorted by
+    /// `(name, labels)` — the deterministic order both exporters and
+    /// the golden-file test rely on.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("registry lock");
+        let metrics = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.desc.name.to_string(),
+                kind: match e.handle {
+                    Handle::Counter(_) => MetricKind::Counter,
+                    Handle::Gauge(_) => MetricKind::Gauge,
+                    Handle::Histogram(_) => MetricKind::Histogram,
+                },
+                unit: e.desc.unit,
+                help: e.desc.help.to_string(),
+                labels: e
+                    .desc
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+                value: match &e.handle {
+                    Handle::Counter(c) => SampleValue::Counter(c.get()),
+                    Handle::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Handle::Histogram(h) => h.sample(),
+                },
+            })
+            .collect();
+        MetricsSnapshot::from_samples(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip_through_a_snapshot() {
+        let r = Registry::new();
+        let c = r.counter(MetricDesc::plain("events_total", "Events.", Unit::None));
+        let g = r.gauge(MetricDesc::plain("depth", "Depth.", Unit::None));
+        let h = r.histogram(
+            MetricDesc::plain("latency_us", "Latency.", Unit::Micros),
+            &[10, 100],
+        );
+        c.add(3);
+        c.inc();
+        g.set(2.5);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        assert_eq!(c.get(), 4);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!((h.count(), h.sum()), (3, 5055));
+
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 3);
+        // Sorted by name: depth, events_total, latency_us.
+        assert_eq!(snap.metrics[0].name, "depth");
+        assert_eq!(snap.metrics[1].value, SampleValue::Counter(4));
+        match &snap.metrics[2].value {
+            SampleValue::Histogram {
+                bounds,
+                counts,
+                sum,
+            } => {
+                assert_eq!(bounds, &[10, 100]);
+                assert_eq!(counts, &[1, 1, 1]);
+                assert_eq!(*sum, 5055);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_series_share_a_name_and_sort_by_label() {
+        let r = Registry::new();
+        let b = r.counter(MetricDesc::labeled(
+            "requests_total",
+            "Requests by type.",
+            Unit::None,
+            "type",
+            "b",
+        ));
+        let a = r.counter(MetricDesc::labeled(
+            "requests_total",
+            "Requests by type.",
+            Unit::None,
+            "type",
+            "a",
+        ));
+        a.add(1);
+        b.add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics[0].labels, vec![("type".into(), "a".into())]);
+        assert_eq!(snap.metrics[0].value, SampleValue::Counter(1));
+        assert_eq!(snap.metrics[1].value, SampleValue::Counter(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_is_a_programmer_error() {
+        let r = Registry::new();
+        let _ = r.counter(MetricDesc::plain("x_total", "X.", Unit::None));
+        let _ = r.counter(MetricDesc::plain("x_total", "X.", Unit::None));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn invalid_names_are_rejected_at_registration() {
+        let r = Registry::new();
+        let _ = r.counter(MetricDesc::plain("Bad-Name", "X.", Unit::None));
+    }
+
+    #[test]
+    #[should_panic(expected = "two different types")]
+    fn one_name_cannot_mix_metric_types() {
+        let r = Registry::new();
+        let _ = r.counter(MetricDesc::labeled("x_total", "X.", Unit::None, "a", "1"));
+        let _ = r.gauge(MetricDesc::labeled("x_total", "X.", Unit::None, "a", "2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn histogram_bounds_must_increase() {
+        let r = Registry::new();
+        let _ = r.histogram(MetricDesc::plain("h_us", "H.", Unit::Micros), &[10, 10]);
+    }
+}

@@ -19,7 +19,7 @@
 //! [`DmfsgdError::Transport`], which is how a pipelining client
 //! notices it outran the server's admission window.
 
-use crate::protocol::{ProtocolDecode, ProtocolEncode, Request, Response};
+use crate::protocol::{MetricsFormat, ProtocolDecode, ProtocolEncode, Request, Response};
 use dmf_core::DmfsgdError;
 use std::ops::ControlFlow;
 
@@ -81,6 +81,18 @@ impl ServiceClient {
     pub fn submit_snapshot(&mut self, shard: u16, wire: &mut Vec<u8>) -> u32 {
         let seq = self.next_seq;
         self.submit(Request::Snapshot { seq, shard }, wire)
+    }
+
+    /// Encodes a metrics request in the given exposition format.
+    pub fn submit_metrics(&mut self, format: MetricsFormat, wire: &mut Vec<u8>) -> u32 {
+        let seq = self.next_seq;
+        self.submit(Request::Metrics { seq, format }, wire)
+    }
+
+    /// Encodes a health request.
+    pub fn submit_health(&mut self, wire: &mut Vec<u8>) -> u32 {
+        let seq = self.next_seq;
+        self.submit(Request::Health { seq }, wire)
     }
 
     /// Buffers response-stream bytes received from the server.

@@ -26,12 +26,14 @@
 //! in a thread loop over a [`Loopback`](crate::loopback) pipe for the
 //! benches and examples.
 
-use crate::protocol::{ErrorCode, ProtocolDecode, ProtocolEncode, Request, Response};
+use crate::metrics::{RequestKind, ServiceMetrics};
+use crate::protocol::{ErrorCode, ProtocolDecode, ProtocolEncode, Request, Response, MAX_PAYLOAD};
 use crate::service::PredictionService;
 use dmf_core::{DmfsgdError, NodeId};
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default admission window: how many requests may be in flight on
 /// one connection before overload rejection kicks in.
@@ -52,6 +54,11 @@ pub struct ServerConnection {
     rank_buf: Vec<(NodeId, f64)>,
     /// Requests rejected with [`ErrorCode::Overloaded`] so far.
     overload_rejections: u64,
+    /// Observability sink, shared across the connections of one
+    /// service. `None` (the default) serves with no instrumentation
+    /// overhead and answers `Metrics`/`Health` requests with
+    /// [`ErrorCode::BadRequest`].
+    metrics: Option<Arc<ServiceMetrics>>,
 }
 
 impl ServerConnection {
@@ -65,12 +72,27 @@ impl ServerConnection {
             pending: VecDeque::new(),
             rank_buf: Vec::new(),
             overload_rejections: 0,
+            metrics: None,
         }
     }
 
     /// A connection with the [`DEFAULT_MAX_IN_FLIGHT`] window.
     pub fn with_default_window(service: Arc<PredictionService>) -> Self {
         Self::new(service, DEFAULT_MAX_IN_FLIGHT)
+    }
+
+    /// An instrumented connection: every request is counted and
+    /// timed into `metrics` (share one [`ServiceMetrics`] across all
+    /// connections of a service), updates feed its live quality
+    /// window, and `Metrics`/`Health` requests are answered from it.
+    pub fn with_metrics(
+        service: Arc<PredictionService>,
+        max_in_flight: usize,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Self {
+        let mut conn = Self::new(service, max_in_flight);
+        conn.metrics = Some(metrics);
+        conn
     }
 
     /// Requests admitted and not yet executed.
@@ -120,6 +142,9 @@ impl ServerConnection {
                     consumed += len;
                     if self.pending.len() >= self.max_in_flight {
                         self.overload_rejections += 1;
+                        if let Some(m) = &self.metrics {
+                            m.record_overload();
+                        }
                         Response::Error {
                             seq: req.seq(),
                             code: ErrorCode::Overloaded,
@@ -136,6 +161,9 @@ impl ServerConnection {
             }
         }
         self.inbuf.drain(..consumed);
+        if let Some(m) = &self.metrics {
+            m.set_in_flight(self.pending.len());
+        }
         Ok(())
     }
 
@@ -151,6 +179,9 @@ impl ServerConnection {
         };
         let resp = self.execute(req);
         resp.encode(out);
+        if let Some(m) = &self.metrics {
+            m.set_in_flight(self.pending.len());
+        }
         true
     }
 
@@ -164,6 +195,9 @@ impl ServerConnection {
     }
 
     fn execute(&mut self, req: Request) -> Response {
+        let metrics = self.metrics.clone();
+        let started = metrics.as_ref().map(|_| Instant::now());
+        let kind = request_kind(&req);
         let seq = req.seq();
         let result = match req {
             Request::Predict { i, j, .. } => self
@@ -190,19 +224,74 @@ impl ServerConnection {
                 }),
             Request::Update { i, j, x, .. } => self
                 .service
-                .update_rtt(i as usize, j as usize, x)
-                .map(|()| Response::Updated { seq }),
+                .update_rtt_scored(i as usize, j as usize, x)
+                .map(|score| {
+                    if let Some(m) = &metrics {
+                        // The pre-update score against the measured
+                        // class is the live quality pair.
+                        let shard = self.service.partition().owner(i as usize);
+                        m.record_update(shard, x > 0.0, score);
+                    }
+                    Response::Updated { seq }
+                }),
             Request::Snapshot { shard, .. } => self
                 .service
                 .snapshot_json(shard as usize)
                 .map(|json| Response::SnapshotData { seq, json }),
+            Request::Metrics { format, .. } => match &metrics {
+                Some(m) => {
+                    let body = m.render(format);
+                    if body.len() + 9 > MAX_PAYLOAD {
+                        Err(DmfsgdError::Transport(
+                            "metrics snapshot exceeds the frame payload bound".to_string(),
+                        ))
+                    } else {
+                        Ok(Response::MetricsData { seq, format, body })
+                    }
+                }
+                None => Err(metrics_disabled()),
+            },
+            Request::Health { .. } => match &metrics {
+                Some(m) => Ok(Response::HealthStatus {
+                    seq,
+                    health: m.health(),
+                }),
+                None => Err(metrics_disabled()),
+            },
         };
-        result.unwrap_or_else(|e| Response::Error {
+        let ok = result.is_ok();
+        let resp = result.unwrap_or_else(|e| Response::Error {
             seq,
             code: error_code(&e),
             message: e.to_string(),
-        })
+        });
+        if let (Some(m), Some(t0)) = (&metrics, started) {
+            m.record_request(kind, ok, t0.elapsed().as_micros() as u64);
+        }
+        resp
     }
+}
+
+/// The metric label for a request (see
+/// [`ServiceMetrics::record_request`]).
+fn request_kind(req: &Request) -> RequestKind {
+    match req {
+        Request::Predict { .. } => RequestKind::Predict,
+        Request::PredictClass { .. } => RequestKind::PredictClass,
+        Request::RankNeighbors { .. } => RequestKind::Rank,
+        Request::Update { .. } => RequestKind::Update,
+        Request::Snapshot { .. } => RequestKind::Snapshot,
+        Request::Metrics { .. } => RequestKind::Metrics,
+        Request::Health { .. } => RequestKind::Health,
+    }
+}
+
+/// The error answering `Metrics`/`Health` on an uninstrumented
+/// connection (maps to [`ErrorCode::BadRequest`]).
+fn metrics_disabled() -> DmfsgdError {
+    DmfsgdError::Transport(
+        "metrics are not enabled on this connection (ServerConnection::with_metrics)".to_string(),
+    )
 }
 
 /// Maps a service error to its wire category.

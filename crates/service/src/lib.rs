@@ -33,13 +33,20 @@
 //!   (overload → `Transport`).
 //! * [`loopback`] — an in-memory duplex byte pipe so benches and
 //!   examples run the full wire path without sockets.
+//! * [`metrics`] — the service's observability surface
+//!   ([`ServiceMetrics`]): request/error/overload counters, latency
+//!   histogram, per-shard update counters, a live rolling-AUC quality
+//!   window and declared health rules, served over the protocol's
+//!   `Metrics`/`Health` request types. Documented as an operator
+//!   contract in `docs/operations.md`.
 //!
 //! # Position in the workspace
 //!
-//! Depends on `dmf-core` (sessions, views, typed errors) and
-//! `dmf-proto` (checksum, decode-error vocabulary). Downstream,
-//! `dmf-bench` load-tests it (`service_runs` in BENCH.json) and the
-//! facade re-exports it as `dmfsgd::service`.
+//! Depends on `dmf-core` (sessions, views, typed errors), `dmf-proto`
+//! (checksum, decode-error vocabulary) and `dmf-ops` (metric
+//! registry, health semantics). Downstream, `dmf-bench` load-tests it
+//! (`service_runs` in BENCH.json) and the facade re-exports it as
+//! `dmfsgd::service`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +58,8 @@ pub mod connection;
 #[deny(missing_docs)]
 pub mod loopback;
 #[deny(missing_docs)]
+pub mod metrics;
+#[deny(missing_docs)]
 pub mod partition;
 #[deny(missing_docs)]
 pub mod protocol;
@@ -60,9 +69,10 @@ pub mod service;
 pub use client::ServiceClient;
 pub use connection::{serve_loopback, ServerConnection, DEFAULT_MAX_IN_FLIGHT};
 pub use loopback::{loopback_pair, LoopbackEndpoint};
+pub use metrics::{RequestKind, ServiceMetrics, DEFAULT_QUALITY_WINDOW, LATENCY_BUCKETS_US};
 pub use partition::Partition;
 pub use protocol::{
-    ErrorCode, ProtocolDecode, ProtocolEncode, Request, Response, CHECKSUM_LEN, HEADER_LEN,
-    MAX_PAYLOAD, MAX_RANKED, SERVICE_MAGIC, SERVICE_VERSION,
+    ErrorCode, MetricsFormat, ProtocolDecode, ProtocolEncode, Request, Response, CHECKSUM_LEN,
+    HEADER_LEN, MAX_HEALTH_REASONS, MAX_PAYLOAD, MAX_RANKED, SERVICE_MAGIC, SERVICE_VERSION,
 };
 pub use service::PredictionService;

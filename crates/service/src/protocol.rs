@@ -35,6 +35,7 @@
 //! [`DecodeError`] — never a panic, and never
 //! an allocation larger than [`MAX_PAYLOAD`].
 
+use dmf_ops::{DegradedReason, Health};
 use dmf_proto::{fnv1a, DecodeError};
 use std::ops::ControlFlow;
 
@@ -59,6 +60,11 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 /// Upper bound on the entry count of a [`Response::Ranked`] frame —
 /// decoding rejects larger counts before allocating.
 pub const MAX_RANKED: usize = 4096;
+
+/// Upper bound on the reason count of a [`Response::HealthStatus`]
+/// frame (the health rules define three reasons; the bound leaves
+/// room without letting a hostile count allocate).
+pub const MAX_HEALTH_REASONS: usize = 16;
 
 /// Buffered protocol encoding: append one complete frame to `buf`.
 ///
@@ -94,12 +100,36 @@ const T_PREDICT_CLASS: u8 = 0x02;
 const T_RANK: u8 = 0x03;
 const T_UPDATE: u8 = 0x04;
 const T_SNAPSHOT: u8 = 0x05;
+const T_METRICS: u8 = 0x06;
+const T_HEALTH: u8 = 0x07;
 const T_VALUE: u8 = 0x81;
 const T_CLASS: u8 = 0x82;
 const T_RANKED: u8 = 0x83;
 const T_UPDATED: u8 = 0x84;
 const T_SNAPSHOT_DATA: u8 = 0x85;
+const T_METRICS_DATA: u8 = 0x86;
+const T_HEALTH_STATUS: u8 = 0x87;
 const T_ERROR: u8 = 0xEE;
+
+/// Exposition format requested by [`Request::Metrics`]. The formats
+/// themselves are defined by `dmf-ops` (see `docs/operations.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus-style text lines.
+    Text = 0,
+    /// Schema-versioned JSON snapshot.
+    Json = 1,
+}
+
+impl MetricsFormat {
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(Self::Text),
+            1 => Ok(Self::Json),
+            _ => Err(DecodeError::BadValue),
+        }
+    }
+}
 
 /// A client request. Every variant carries the client-chosen sequence
 /// number echoed by the matching response.
@@ -150,6 +180,23 @@ pub enum Request {
         seq: u32,
         /// Shard index.
         shard: u16,
+    },
+    /// Fetch the service's metrics snapshot in the requested
+    /// exposition format. Answered with [`Response::MetricsData`], or
+    /// [`ErrorCode::BadRequest`] when the serving connection has no
+    /// metrics enabled.
+    Metrics {
+        /// Pipelining sequence number.
+        seq: u32,
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// Fetch the service's health verdict. Answered with
+    /// [`Response::HealthStatus`], or [`ErrorCode::BadRequest`] when
+    /// the serving connection has no metrics enabled.
+    Health {
+        /// Pipelining sequence number.
+        seq: u32,
     },
 }
 
@@ -216,6 +263,22 @@ pub enum Response {
         /// The shard session's snapshot, JSON-encoded.
         json: Vec<u8>,
     },
+    /// Answer to [`Request::Metrics`].
+    MetricsData {
+        /// Sequence of the request answered.
+        seq: u32,
+        /// The exposition format of `body` (echoes the request).
+        format: MetricsFormat,
+        /// The rendered metrics snapshot.
+        body: Vec<u8>,
+    },
+    /// Answer to [`Request::Health`].
+    HealthStatus {
+        /// Sequence of the request answered.
+        seq: u32,
+        /// The health verdict at evaluation time.
+        health: Health,
+    },
     /// The request failed; carries a typed code and a human-readable
     /// message.
     Error {
@@ -236,7 +299,9 @@ impl Request {
             | Request::PredictClass { seq, .. }
             | Request::RankNeighbors { seq, .. }
             | Request::Update { seq, .. }
-            | Request::Snapshot { seq, .. } => *seq,
+            | Request::Snapshot { seq, .. }
+            | Request::Metrics { seq, .. }
+            | Request::Health { seq } => *seq,
         }
     }
 }
@@ -250,6 +315,8 @@ impl Response {
             | Response::Ranked { seq, .. }
             | Response::Updated { seq }
             | Response::SnapshotData { seq, .. }
+            | Response::MetricsData { seq, .. }
+            | Response::HealthStatus { seq, .. }
             | Response::Error { seq, .. } => *seq,
         }
     }
@@ -310,7 +377,39 @@ impl ProtocolEncode for Request {
                 buf.extend_from_slice(&shard.to_le_bytes());
                 end_frame(buf, start);
             }
+            Request::Metrics { seq, format } => {
+                let start = begin_frame(buf, T_METRICS, 5);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(format as u8);
+                end_frame(buf, start);
+            }
+            Request::Health { seq } => {
+                let start = begin_frame(buf, T_HEALTH, 4);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                end_frame(buf, start);
+            }
         }
+    }
+}
+
+/// Wire kind tag of a degraded reason (the two `f64`s that follow are
+/// always `(observed, limit)`).
+fn reason_kind(r: &DegradedReason) -> u8 {
+    match r {
+        DegradedReason::QualityBelowFloor { .. } => 1,
+        DegradedReason::StaleCoordinates { .. } => 2,
+        DegradedReason::HighRejectionRate { .. } => 3,
+    }
+}
+
+fn reason_values(r: &DegradedReason) -> (f64, f64) {
+    match *r {
+        DegradedReason::QualityBelowFloor { auc, floor } => (auc, floor),
+        DegradedReason::StaleCoordinates {
+            staleness_s,
+            limit_s,
+        } => (staleness_s, limit_s),
+        DegradedReason::HighRejectionRate { rate, limit } => (rate, limit),
     }
 }
 
@@ -351,6 +450,51 @@ impl ProtocolEncode for Response {
                 buf.extend_from_slice(&seq.to_le_bytes());
                 buf.extend_from_slice(&(json.len() as u32).to_le_bytes());
                 buf.extend_from_slice(json);
+                end_frame(buf, start);
+            }
+            Response::MetricsData { seq, format, body } => {
+                assert!(body.len() + 9 <= MAX_PAYLOAD, "metrics body too large");
+                let start = begin_frame(buf, T_METRICS_DATA, 9 + body.len());
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(*format as u8);
+                buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                buf.extend_from_slice(body);
+                end_frame(buf, start);
+            }
+            Response::HealthStatus { seq, health } => {
+                let payload_len = 5 + match health {
+                    Health::Healthy => 0,
+                    Health::Degraded { reasons } => {
+                        assert!(
+                            reasons.len() <= MAX_HEALTH_REASONS,
+                            "too many degraded reasons"
+                        );
+                        1 + 17 * reasons.len()
+                    }
+                    Health::Unready { reason } => {
+                        assert!(reason.len() <= u16::MAX as usize, "unready reason too long");
+                        2 + reason.len()
+                    }
+                };
+                let start = begin_frame(buf, T_HEALTH_STATUS, payload_len);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(health.code());
+                match health {
+                    Health::Healthy => {}
+                    Health::Degraded { reasons } => {
+                        buf.push(reasons.len() as u8);
+                        for r in reasons {
+                            buf.push(reason_kind(r));
+                            let (observed, limit) = reason_values(r);
+                            buf.extend_from_slice(&observed.to_le_bytes());
+                            buf.extend_from_slice(&limit.to_le_bytes());
+                        }
+                    }
+                    Health::Unready { reason } => {
+                        buf.extend_from_slice(&(reason.len() as u16).to_le_bytes());
+                        buf.extend_from_slice(reason.as_bytes());
+                    }
+                }
                 end_frame(buf, start);
             }
             Response::Error { seq, code, message } => {
@@ -473,14 +617,21 @@ impl<'a> Reader<'a> {
 fn is_request_type(ty: u8) -> bool {
     matches!(
         ty,
-        T_PREDICT | T_PREDICT_CLASS | T_RANK | T_UPDATE | T_SNAPSHOT
+        T_PREDICT | T_PREDICT_CLASS | T_RANK | T_UPDATE | T_SNAPSHOT | T_METRICS | T_HEALTH
     )
 }
 
 fn is_response_type(ty: u8) -> bool {
     matches!(
         ty,
-        T_VALUE | T_CLASS | T_RANKED | T_UPDATED | T_SNAPSHOT_DATA | T_ERROR
+        T_VALUE
+            | T_CLASS
+            | T_RANKED
+            | T_UPDATED
+            | T_SNAPSHOT_DATA
+            | T_METRICS_DATA
+            | T_HEALTH_STATUS
+            | T_ERROR
     )
 }
 
@@ -521,6 +672,11 @@ impl ProtocolDecode for Request {
                 seq,
                 shard: r.u16()?,
             },
+            T_METRICS => Request::Metrics {
+                seq,
+                format: MetricsFormat::from_u8(r.u8()?)?,
+            },
+            T_HEALTH => Request::Health { seq },
             _ => unreachable!("split_frame validated the type"),
         };
         r.finish()?;
@@ -570,6 +726,60 @@ impl ProtocolDecode for Response {
                     json: r.take(len)?.to_vec(),
                 }
             }
+            T_METRICS_DATA => {
+                let format = MetricsFormat::from_u8(r.u8()?)?;
+                let len = r.u32()? as usize;
+                Response::MetricsData {
+                    seq,
+                    format,
+                    body: r.take(len)?.to_vec(),
+                }
+            }
+            T_HEALTH_STATUS => {
+                let health = match r.u8()? {
+                    0 => Health::Healthy,
+                    1 => {
+                        let count = r.u8()? as usize;
+                        if count == 0 || count > MAX_HEALTH_REASONS {
+                            return Err(DecodeError::BadValue);
+                        }
+                        let mut reasons = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            let kind = r.u8()?;
+                            let observed = r.f64()?;
+                            let limit = r.f64()?;
+                            if !observed.is_finite() || !limit.is_finite() {
+                                return Err(DecodeError::BadValue);
+                            }
+                            reasons.push(match kind {
+                                1 => DegradedReason::QualityBelowFloor {
+                                    auc: observed,
+                                    floor: limit,
+                                },
+                                2 => DegradedReason::StaleCoordinates {
+                                    staleness_s: observed,
+                                    limit_s: limit,
+                                },
+                                3 => DegradedReason::HighRejectionRate {
+                                    rate: observed,
+                                    limit,
+                                },
+                                _ => return Err(DecodeError::BadValue),
+                            });
+                        }
+                        Health::Degraded { reasons }
+                    }
+                    2 => {
+                        let len = r.u16()? as usize;
+                        let reason = std::str::from_utf8(r.take(len)?)
+                            .map_err(|_| DecodeError::BadValue)?
+                            .to_string();
+                        Health::Unready { reason }
+                    }
+                    _ => return Err(DecodeError::BadValue),
+                };
+                Response::HealthStatus { seq, health }
+            }
             T_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)?;
                 let len = r.u16()? as usize;
@@ -612,6 +822,15 @@ mod tests {
                 x: -1.0,
             },
             Request::Snapshot { seq: 11, shard: 3 },
+            Request::Metrics {
+                seq: 12,
+                format: MetricsFormat::Text,
+            },
+            Request::Metrics {
+                seq: 13,
+                format: MetricsFormat::Json,
+            },
+            Request::Health { seq: 14 },
         ];
         for req in &reqs {
             let bytes = enc(req);
@@ -639,6 +858,40 @@ mod tests {
             Response::SnapshotData {
                 seq: 5,
                 json: b"{\"x\":1}".to_vec(),
+            },
+            Response::MetricsData {
+                seq: 6,
+                format: MetricsFormat::Text,
+                body: b"# dmfsgd-metrics schema 1\n".to_vec(),
+            },
+            Response::HealthStatus {
+                seq: 7,
+                health: Health::Healthy,
+            },
+            Response::HealthStatus {
+                seq: 8,
+                health: Health::Degraded {
+                    reasons: vec![
+                        DegradedReason::QualityBelowFloor {
+                            auc: 0.5,
+                            floor: 0.75,
+                        },
+                        DegradedReason::StaleCoordinates {
+                            staleness_s: 45.0,
+                            limit_s: 30.0,
+                        },
+                        DegradedReason::HighRejectionRate {
+                            rate: 0.3,
+                            limit: 0.1,
+                        },
+                    ],
+                },
+            },
+            Response::HealthStatus {
+                seq: 9,
+                health: Health::Unready {
+                    reason: "quality window 3/50 samples".to_string(),
+                },
             },
             Response::Error {
                 seq: 6,
@@ -721,6 +974,46 @@ mod tests {
             });
             assert_eq!(Request::consume(&bytes).unwrap_err(), DecodeError::BadValue);
         }
+    }
+
+    #[test]
+    fn hostile_health_payloads_are_typed_errors() {
+        // Unknown state byte.
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, T_HEALTH_STATUS, 5);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(9);
+        end_frame(&mut buf, start);
+        assert_eq!(Response::consume(&buf).unwrap_err(), DecodeError::BadValue);
+
+        // Degraded with zero reasons (the encoder never emits it).
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, T_HEALTH_STATUS, 6);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(1);
+        buf.push(0);
+        end_frame(&mut buf, start);
+        assert_eq!(Response::consume(&buf).unwrap_err(), DecodeError::BadValue);
+
+        // Degraded reason carrying a NaN.
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, T_HEALTH_STATUS, 23);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(1);
+        buf.push(1);
+        buf.push(1);
+        buf.extend_from_slice(&f64::NAN.to_le_bytes());
+        buf.extend_from_slice(&0.75f64.to_le_bytes());
+        end_frame(&mut buf, start);
+        assert_eq!(Response::consume(&buf).unwrap_err(), DecodeError::BadValue);
+
+        // Metrics request with an unknown format byte.
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, T_METRICS, 5);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(7);
+        end_frame(&mut buf, start);
+        assert_eq!(Request::consume(&buf).unwrap_err(), DecodeError::BadValue);
     }
 
     #[test]

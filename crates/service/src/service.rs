@@ -252,6 +252,17 @@ impl PredictionService {
     /// `Session::apply_measurement(i, j, x, Metric::Rtt)` on a single
     /// session.
     pub fn update_rtt(&self, i: NodeId, j: NodeId, x: f64) -> Result<(), DmfsgdError> {
+        self.update_rtt_scored(i, j, x).map(|_| ())
+    }
+
+    /// As [`update_rtt`](Self::update_rtt), additionally returning the
+    /// *pre-update* raw score `u_i · v_j` — the prediction the service
+    /// would have given for the path just measured. Pairing it with
+    /// the measured class `x` is how the observability layer feeds its
+    /// live quality window: the score is read under the same session
+    /// lock that applies the update, so it is exactly the prediction
+    /// in force when the measurement arrived.
+    pub fn update_rtt_scored(&self, i: NodeId, j: NodeId, x: f64) -> Result<f64, DmfsgdError> {
         let oj = self.partition.owner(j.min(self.len()));
         // Fetch the reply under the read lock, then drop it before
         // touching owner(i)'s locks — no lock is held while acquiring
@@ -267,12 +278,55 @@ impl PredictionService {
         let oi = self.partition.owner(i);
         let shard = &self.shards[oi];
         let mut session = shard.session.lock().expect("shard session lock");
+        let score = dmf_core::coords::dot(&session.nodes()[i].coords.u, &v_j);
         session.apply_rtt_remote(i, x, &u_j, &v_j)?;
         shard
             .view
             .write()
             .expect("shard view lock")
-            .republish_node(&session, i)
+            .republish_node(&session, i)?;
+        Ok(score)
+    }
+
+    /// Restores every shard of a *live* service from `snapshot` — the
+    /// in-place counterpart of [`from_snapshot`](Self::from_snapshot),
+    /// for rolling a running deployment back to a known-good
+    /// checkpoint without tearing down its connections.
+    ///
+    /// The swap is atomic with respect to updates: all shard session
+    /// locks are taken (in ascending order, the crate-wide rule)
+    /// before any shard is touched, restored sessions are built and
+    /// validated *before* any lock is taken, and the published views
+    /// are republished before the locks are released — so readers
+    /// never observe a mix of old and new coordinates once the first
+    /// view flips. The snapshot must describe the same population
+    /// size the service was built for.
+    pub fn restore_from_snapshot(&self, snapshot: &Snapshot) -> Result<(), DmfsgdError> {
+        if snapshot.len() != self.len() {
+            return Err(DmfsgdError::Import(format!(
+                "snapshot has {} nodes, the service serves {}",
+                snapshot.len(),
+                self.len()
+            )));
+        }
+        // Build (and thereby validate) every replacement session while
+        // the service keeps serving; only then stop the world.
+        let mut restored = Vec::with_capacity(self.shards.len());
+        for _ in 0..self.shards.len() {
+            restored.push(Session::restore(snapshot)?);
+        }
+        let mut sessions: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.session.lock().expect("shard session lock"))
+            .collect();
+        for (guard, fresh) in sessions.iter_mut().zip(restored) {
+            **guard = fresh;
+        }
+        for (shard, guard) in self.shards.iter().zip(&sessions) {
+            *shard.view.write().expect("shard view lock") = guard.publish();
+        }
+        Ok(())
     }
 
     /// JSON snapshot of shard `shard`'s session (authoritative for its
@@ -401,6 +455,76 @@ mod tests {
         assert!(matches!(
             svc.snapshot_json(5).unwrap_err(),
             DmfsgdError::Transport(_)
+        ));
+    }
+
+    #[test]
+    fn scored_updates_return_the_pre_update_prediction() {
+        let cfg = config(16, 12);
+        let svc = PredictionService::build(cfg, 16, 4).unwrap();
+        let before = svc.predict(2, 9).unwrap();
+        let mode_scale = 1.0; // class mode: predict() is the raw score
+        let score = svc.update_rtt_scored(2, 9, -1.0).unwrap();
+        assert_eq!(score * mode_scale, before);
+        // And the update really landed: plain and scored paths are the
+        // same code path.
+        let svc2 = PredictionService::build(cfg, 16, 4).unwrap();
+        svc2.update_rtt(2, 9, -1.0).unwrap();
+        assert_eq!(svc.predict(2, 9).unwrap(), svc2.predict(2, 9).unwrap());
+    }
+
+    #[test]
+    fn restore_from_snapshot_rolls_a_live_service_back() {
+        let cfg = config(18, 13);
+        let svc = PredictionService::build(cfg, 18, 3).unwrap();
+        // Checkpoint the fresh state, then train past it.
+        let checkpoint_json = svc.snapshot_json(0).unwrap();
+        let checkpoint =
+            Snapshot::from_json(std::str::from_utf8(&checkpoint_json).unwrap()).unwrap();
+        let fresh: Vec<f64> = (0..18)
+            .map(|j| {
+                if j == 5 {
+                    0.0
+                } else {
+                    svc.predict(5, j).unwrap()
+                }
+            })
+            .collect();
+        for step in 0..120usize {
+            let i = step % 18;
+            let j = (i + 1 + step % 17) % 18;
+            svc.update_rtt(i, j, if step % 2 == 0 { 1.0 } else { -1.0 })
+                .unwrap();
+        }
+        let trained: Vec<f64> = (0..18)
+            .map(|j| {
+                if j == 5 {
+                    0.0
+                } else {
+                    svc.predict(5, j).unwrap()
+                }
+            })
+            .collect();
+        assert_ne!(fresh, trained, "training moved the coordinates");
+        svc.restore_from_snapshot(&checkpoint).unwrap();
+        let restored: Vec<f64> = (0..18)
+            .map(|j| {
+                if j == 5 {
+                    0.0
+                } else {
+                    svc.predict(5, j).unwrap()
+                }
+            })
+            .collect();
+        assert_eq!(restored, fresh, "restore is bit-exact");
+        // The service keeps serving and training after the rollback.
+        svc.update_rtt(0, 1, 1.0).unwrap();
+
+        // Population-size mismatch is rejected before any mutation.
+        let other = Session::builder().nodes(12).seed(1).build().unwrap();
+        assert!(matches!(
+            svc.restore_from_snapshot(&other.snapshot()).unwrap_err(),
+            DmfsgdError::Import(_)
         ));
     }
 

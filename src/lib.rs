@@ -24,8 +24,9 @@
 //! | [`eval`] | `dmf-eval` | ROC/AUC, PR, confusion, convergence, peer selection |
 //! | [`proto`] | `dmf-proto` | binary wire protocol |
 //! | [`baselines`] | `dmf-baselines` | Vivaldi, centralized MF, oracle selection |
+//! | [`ops`] | `dmf-ops` | metrics registry, exporters, health policy, live quality |
 //! | [`service`] | `dmf-service` | sharded, pipelined prediction service |
-//! | [`agent`] | `dmf-agent` | real UDP deployment |
+//! | [`agent`] | `dmf-agent` | real UDP deployment and long-running [`agent::Fleet`] |
 //!
 //! A narrative walk-through (experiment end-to-end, choosing the
 //! `r`/`η`/`λ`/`k`/`τ` knobs, churn and snapshot/restore, reading the
@@ -94,6 +95,13 @@
 //! shards it behind a framed, pipelined wire protocol whose answers
 //! are bit-identical to a single session's
 //! (`examples/prediction_service.rs` is the end-to-end tour).
+//!
+//! Both serving layers are observable through [`ops`]: live metrics
+//! (text/JSON exposition with a pinned schema), a rolling-AUC quality
+//! gauge, and typed health verdicts — served in-band by the service
+//! protocol and by [`agent::Fleet`], the long-running UDP deployment
+//! with join/leave and live checkpointing (`examples/fleet_ops.rs`;
+//! `docs/operations.md` is the operator runbook).
 
 pub use dmf_agent as agent;
 pub use dmf_baselines as baselines;
@@ -101,6 +109,7 @@ pub use dmf_core as core;
 pub use dmf_datasets as datasets;
 pub use dmf_eval as eval;
 pub use dmf_linalg as linalg;
+pub use dmf_ops as ops;
 pub use dmf_proto as proto;
 pub use dmf_service as service;
 pub use dmf_simnet as simnet;

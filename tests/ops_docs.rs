@@ -1,0 +1,106 @@
+//! Keeps `docs/operations.md` and the code honest about each other:
+//! every metric name the registries export must be documented in the
+//! runbook, and every metric name the runbook mentions must exist in
+//! a registry. Either drift direction is a test failure, so the
+//! operator-facing reference can be trusted without reading source.
+
+use dmfsgd::agent::{FLEET_GAUGE_NAMES, STAT_METRICS};
+use dmfsgd::service::ServiceMetrics;
+use std::collections::BTreeSet;
+
+/// The metric-name namespace the runbook documents. Crate paths like
+/// `dmf_agent::Fleet` never match (they contain `::`), and the `dmf-`
+/// crate names don't carry these prefixes.
+const PREFIXES: [&str; 3] = ["dmf_service_", "dmf_agent_", "dmf_fleet_"];
+
+fn is_metric_name(token: &str) -> bool {
+    PREFIXES
+        .iter()
+        .any(|p| token.len() > p.len() && token.starts_with(p))
+        && token
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Inline-code spans of the runbook, with fenced blocks stripped
+/// first (the format examples repeat table entries; only the tables
+/// and prose are authoritative).
+fn documented_names(doc: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut in_fence = false;
+    for line in doc.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        for (idx, span) in line.split('`').enumerate() {
+            // Odd split indices sit between backticks: `span`.
+            if idx % 2 == 1 && is_metric_name(span) {
+                names.insert(span.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// Every metric name the live registries can export.
+fn exported_names() -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for sample in ServiceMetrics::new(2).snapshot().metrics {
+        names.insert(sample.name);
+    }
+    for metric in &STAT_METRICS {
+        names.insert(metric.name.to_string());
+    }
+    for name in FLEET_GAUGE_NAMES {
+        names.insert(name.to_string());
+    }
+    names
+}
+
+fn runbook() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/operations.md");
+    std::fs::read_to_string(path).expect("docs/operations.md exists")
+}
+
+#[test]
+fn every_exported_metric_is_documented_in_the_runbook() {
+    let documented = documented_names(&runbook());
+    let missing: Vec<_> = exported_names()
+        .into_iter()
+        .filter(|n| !documented.contains(n))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "metrics exported but absent from docs/operations.md: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_metric_exists_in_a_registry() {
+    let exported = exported_names();
+    let phantom: Vec<_> = documented_names(&runbook())
+        .into_iter()
+        .filter(|n| !exported.contains(n))
+        .collect();
+    assert!(
+        phantom.is_empty(),
+        "docs/operations.md documents metrics no registry exports: {phantom:?}"
+    );
+}
+
+#[test]
+fn the_runbook_documents_the_whole_namespace_non_trivially() {
+    let documented = documented_names(&runbook());
+    for prefix in PREFIXES {
+        assert!(
+            documented.iter().any(|n| n.starts_with(prefix)),
+            "runbook lost its {prefix}* section"
+        );
+    }
+    // 10 service + 12 agent + 6 fleet names today; only grows.
+    assert!(documented.len() >= 28, "got {}", documented.len());
+}

@@ -20,12 +20,19 @@ GUARDS=(
   "crates/core/src/lib.rs:error"
   "crates/core/src/lib.rs:view"
   "crates/agent/src/lib.rs:driver"
+  "crates/agent/src/lib.rs:fleet"
+  "crates/agent/src/lib.rs:metrics"
   "crates/datasets/src/lib.rs:scenario"
   "crates/eval/src/lib.rs:window"
   "crates/linalg/src/lib.rs:simd"
+  "crates/ops/src/lib.rs:export"
+  "crates/ops/src/lib.rs:health"
+  "crates/ops/src/lib.rs:quality"
+  "crates/ops/src/lib.rs:registry"
   "crates/service/src/lib.rs:client"
   "crates/service/src/lib.rs:connection"
   "crates/service/src/lib.rs:loopback"
+  "crates/service/src/lib.rs:metrics"
   "crates/service/src/lib.rs:partition"
   "crates/service/src/lib.rs:protocol"
   "crates/service/src/lib.rs:service"
