@@ -1,17 +1,19 @@
 //! Load generator for the sharded prediction service: drives mixed
 //! pipelined traffic (updates, predictions, rank queries) through the
-//! full wire path and reports qps and p50/p99 latency per shard
-//! count — the `service_runs` record of `BENCH.json`, standalone.
+//! full wire path and reports qps plus overall and per-request-kind
+//! p50/p99 latency per `(mix, shard count)` — the `service_runs`
+//! record of `BENCH.json`, standalone.
 //!
 //! ```text
 //! cargo run --release --bin load_gen                  # standard preset
 //! cargo run --release --bin load_gen -- --quick       # CI smoke
 //! cargo run --release --bin load_gen -- --shards 1,2,4,8
+//! cargo run --release --bin load_gen -- --read-pct 90 --connections 8
 //! cargo run --release --bin load_gen -- --out service_runs.json --label baseline
 //! ```
 
 use dmf_bench::experiments::perf::scale_name;
-use dmf_bench::experiments::service::{self, ServiceRun, SHARD_COUNTS};
+use dmf_bench::experiments::service::{self, ServiceRun, MIXES};
 use dmf_bench::report;
 use dmf_bench::{flag_value, Scale};
 
@@ -31,42 +33,72 @@ fn main() {
                     .expect("--shards takes a comma-separated list of counts")
             })
             .collect(),
-        None => SHARD_COUNTS.to_vec(),
+        None => service::shard_counts(name).to_vec(),
     };
+    // `--read-pct 90` pins a single mix; the default sweeps both
+    // tracked mixes. `--connections 8` overrides the preset's count.
+    let mixes: Vec<u32> = match flag_value(&args, "--read-pct") {
+        Some(pct) => vec![pct
+            .trim()
+            .parse()
+            .expect("--read-pct takes a percentage 0..=100")],
+        None => MIXES.to_vec(),
+    };
+    assert!(
+        mixes.iter().all(|&m| m <= 100),
+        "--read-pct takes a percentage 0..=100"
+    );
+    let connections: usize = flag_value(&args, "--connections")
+        .map(|c| {
+            c.trim()
+                .parse()
+                .expect("--connections takes a positive count")
+        })
+        .unwrap_or(0);
 
     println!("load_gen — scale {name} (label: {label})");
-    let widths = [7, 12, 7, 10, 12, 11, 11, 11, 10];
+    let widths = [7, 9, 12, 7, 10, 11, 9, 9, 9, 9, 9, 10, 9, 9];
     println!(
         "{}",
         report::row(
             &[
                 "shards".into(),
+                "read_pct".into(),
                 "connections".into(),
                 "nodes".into(),
                 "requests".into(),
-                "in_flight".into(),
                 "qps".into(),
                 "p50_us".into(),
                 "p99_us".into(),
+                "upd_p99".into(),
+                "prd_p99".into(),
+                "rnk_p99".into(),
+                "mean_batch".into(),
+                "max_depth".into(),
                 "rejected".into(),
             ],
             &widths,
         )
     );
-    let runs: Vec<ServiceRun> = service::run_with(name, &shard_counts);
+    let runs: Vec<ServiceRun> = service::run_matrix(name, &mixes, &shard_counts, connections);
     for r in &runs {
         println!(
             "{}",
             report::row(
                 &[
                     r.shards.to_string(),
+                    r.read_pct.to_string(),
                     r.connections.to_string(),
                     r.nodes.to_string(),
                     r.requests.to_string(),
-                    r.max_in_flight.to_string(),
                     format!("{:.0}", r.qps),
                     format!("{:.1}", r.p50_us),
                     format!("{:.1}", r.p99_us),
+                    format!("{:.1}", r.update.p99_us),
+                    format!("{:.1}", r.predict.p99_us),
+                    format!("{:.1}", r.rank.p99_us),
+                    format!("{:.2}", r.batching.mean_batch),
+                    r.batching.max_queue_depth.to_string(),
                     r.overload_rejections.to_string(),
                 ],
                 &widths,

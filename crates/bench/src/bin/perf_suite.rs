@@ -78,8 +78,22 @@ fn main() {
 
     for r in &suite.service_runs {
         println!(
-            "service shards={} conns={} n={}: {:.0} qps, p50 {:.1} µs, p99 {:.1} µs ({} requests, {} rejected)",
-            r.shards, r.connections, r.nodes, r.qps, r.p50_us, r.p99_us, r.requests,
+            "service shards={} read={}% conns={} n={}: {:.0} qps, p50 {:.1} µs, p99 {:.1} µs \
+             (upd p99 {:.1}, pred p99 {:.1}, rank p99 {:.1}; mean batch {:.2}, max depth {}; \
+             {} requests, {} rejected)",
+            r.shards,
+            r.read_pct,
+            r.connections,
+            r.nodes,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.update.p99_us,
+            r.predict.p99_us,
+            r.rank.p99_us,
+            r.batching.mean_batch,
+            r.batching.max_queue_depth,
+            r.requests,
             r.overload_rejections
         );
     }

@@ -50,8 +50,10 @@ use std::time::Instant;
 /// workload) became part of the record. v3: the `wire_runs` field
 /// (v1-vs-v2 bytes-per-probe-cycle accounting) joined it. v4: the
 /// `service_runs` field (sharded prediction-service load generation;
-/// see [`service`]) joined it.
-pub const SCHEMA_VERSION: u32 = 4;
+/// see [`service`]) joined it. v5: `service_runs` became a
+/// mix-by-shard matrix (`read_pct` per run) with per-request-kind
+/// latency lanes and write-path batching distributions.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Simulated seconds the Meridian simnet workload runs for.
 const MERIDIAN_SIM_DURATION_S: f64 = 600.0;
@@ -113,9 +115,11 @@ pub struct PerfReport {
     /// wire_runs[v2].bytes_per_probe_cycle` is the tracked
     /// compression ratio the CI gate pins at ≥ 3.
     pub wire_runs: Vec<WireRun>,
-    /// Prediction-service load generation, one record per shard count
-    /// (schema v4): qps and p50/p99 latency through the full wire
-    /// path. The CI gate pins a qps floor and a p99 ceiling on these.
+    /// Prediction-service load generation, one record per traffic mix
+    /// × shard count (schema v5): qps, overall and per-request-kind
+    /// p50/p99 latency through the full wire path, and write-path
+    /// batching distributions. The CI gate pins a qps floor, a p99
+    /// ceiling, and a shard-scaling ratio on these.
     pub service_runs: Vec<ServiceRun>,
 }
 
@@ -340,11 +344,17 @@ mod tests {
         assert_eq!(report.wire_runs[1].version, "v2");
         let ratio = wire::compression_ratio(&report.wire_runs).expect("pair present");
         assert!(ratio >= 3.0, "wire compression ratio {ratio:.2}");
-        // And so do the service load runs, one per tracked shard count.
-        assert_eq!(report.service_runs.len(), service::SHARD_COUNTS.len());
-        for (run, &shards) in report.service_runs.iter().zip(&service::SHARD_COUNTS) {
-            assert_eq!(run.shards, shards);
+        // And so do the service load runs, the full mix × shard
+        // matrix for the quick preset.
+        assert_eq!(
+            report.service_runs.len(),
+            service::MIXES.len() * service::QUICK_SHARD_COUNTS.len()
+        );
+        for run in &report.service_runs {
+            assert!(service::QUICK_SHARD_COUNTS.contains(&run.shards));
+            assert!(service::MIXES.contains(&run.read_pct));
             assert!(run.qps > 0.0 && run.p99_us >= run.p50_us);
+            assert_eq!(run.batching.updates as usize, run.update.requests);
             assert_eq!(run.overload_rejections, 0);
         }
     }

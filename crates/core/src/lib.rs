@@ -44,6 +44,11 @@
 //!   [`CoordView`] that keeps answering queries while a training
 //!   round holds `&mut Session` (the shard-serving primitive behind
 //!   `dmf-service`).
+//! * [`epoch`] — the concurrent form of that read half: an
+//!   [`EpochView`] lays the published slots out as per-slot seqlocks
+//!   so reader threads never take a lock (and never see a torn
+//!   slot) while a single writer republishes batches behind a
+//!   monotone epoch counter.
 //! * [`runner`] — the simulated-network front-end
 //!   ([`runner::SimnetDriver`]): the same node logic driven through
 //!   `dmf-simnet` message passing with latency and loss,
@@ -77,6 +82,8 @@
 pub mod config;
 pub mod coords;
 #[deny(missing_docs)]
+pub mod epoch;
+#[deny(missing_docs)]
 pub mod error;
 pub mod loss;
 pub mod multiclass;
@@ -94,6 +101,7 @@ pub mod view;
 
 pub use config::{DmfsgdConfig, PredictionMode, SgdParams};
 pub use coords::{CoordVec, Coordinates};
+pub use epoch::EpochView;
 pub use error::{ConfigError, DmfsgdError, MembershipError, NodeId, SnapshotError};
 pub use loss::Loss;
 pub use node::DmfsgdNode;

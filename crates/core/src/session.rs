@@ -44,6 +44,22 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// One remote RTT reply in a batch handed to
+/// [`Session::apply_rtt_remote_batch`]: the measuring node `i`, the
+/// observed class `x`, and the reply coordinates `(u_j, v_j)`
+/// borrowed from wherever the router fetched them.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteRtt<'a> {
+    /// The node applying the measurement (must be alive here).
+    pub i: NodeId,
+    /// The measured RTT class (must be finite).
+    pub x: f64,
+    /// The remote peer's `u` coordinates (must match the rank).
+    pub u_j: &'a [f64],
+    /// The remote peer's `v` coordinates (must match the rank).
+    pub v_j: &'a [f64],
+}
+
 /// A long-lived DMFSGD population: the primary entry point of this
 /// crate (and of the `dmfsgd` facade).
 ///
@@ -389,6 +405,51 @@ impl Session {
         let params = self.config.sgd;
         self.nodes[i].on_rtt_measurement(x, u_j, v_j, &params);
         self.measurements += 1;
+        Ok(())
+    }
+
+    /// Applies a whole batch of remote RTT replies through
+    /// [`apply_rtt_remote`](Self::apply_rtt_remote) semantics,
+    /// amortizing the per-update entry overhead — the shard workers'
+    /// drain path.
+    ///
+    /// Validation is all-or-nothing: every update is checked
+    /// (membership, rank, finiteness — the same checks in the same
+    /// order as the per-update entry point) *before* any is applied,
+    /// and the first failure is returned with the session untouched.
+    /// On success the updates apply in slice order, and `pre_scores`
+    /// (cleared first) receives each update's *pre-update* raw score
+    /// `u_i · v_j` — the score `u_i` held when that update's turn
+    /// came, so a batch is bit-identical to the same updates applied
+    /// one at a time with the score read before each.
+    pub fn apply_rtt_remote_batch(
+        &mut self,
+        updates: &[RemoteRtt<'_>],
+        pre_scores: &mut Vec<f64>,
+    ) -> Result<(), DmfsgdError> {
+        let rank = self.config.rank;
+        for up in updates {
+            self.check_alive(up.i)?;
+            if up.u_j.len() != rank || up.v_j.len() != rank {
+                return Err(DmfsgdError::Import(format!(
+                    "remote reply has rank {}/{}, session expects {rank}",
+                    up.u_j.len(),
+                    up.v_j.len()
+                )));
+            }
+            if !up.x.is_finite() || !up.u_j.iter().chain(up.v_j.iter()).all(|c| c.is_finite()) {
+                return Err(DmfsgdError::Import(
+                    "remote reply carries non-finite values".to_string(),
+                ));
+            }
+        }
+        pre_scores.clear();
+        let params = self.config.sgd;
+        for up in updates {
+            pre_scores.push(crate::coords::dot(&self.nodes[up.i].coords.u, up.v_j));
+            self.nodes[up.i].on_rtt_measurement(up.x, up.u_j, up.v_j, &params);
+        }
+        self.measurements += updates.len();
         Ok(())
     }
 
@@ -948,6 +1009,93 @@ mod tests {
             }
         }
         ok as f64 / total as f64
+    }
+
+    #[test]
+    fn batched_remote_applies_are_bit_identical_to_one_at_a_time() {
+        let mut batched = small_session(20, 8, 31);
+        let mut one_by_one = batched.clone();
+        // A schedule whose replies chain: later updates see the
+        // coordinates earlier updates in the same batch produced.
+        let mut updates = Vec::new();
+        for step in 0..30usize {
+            let i = step % 20;
+            let j = (i + 1 + step % 19) % 20;
+            let cj = &one_by_one.nodes()[j].coords;
+            updates.push((
+                i,
+                if step % 3 == 0 { -1.0 } else { 1.0 },
+                cj.u.to_vec(),
+                cj.v.to_vec(),
+            ));
+        }
+        let mut solo_scores = Vec::new();
+        for (i, x, u_j, v_j) in &updates {
+            solo_scores.push(crate::coords::dot(&one_by_one.nodes()[*i].coords.u, v_j));
+            one_by_one.apply_rtt_remote(*i, *x, u_j, v_j).unwrap();
+        }
+        let batch: Vec<RemoteRtt<'_>> = updates
+            .iter()
+            .map(|(i, x, u_j, v_j)| RemoteRtt {
+                i: *i,
+                x: *x,
+                u_j,
+                v_j,
+            })
+            .collect();
+        let mut batch_scores = Vec::new();
+        batched
+            .apply_rtt_remote_batch(&batch, &mut batch_scores)
+            .unwrap();
+        assert_eq!(batch_scores, solo_scores, "pre-update scores sequence");
+        assert_eq!(batched.measurements_used(), one_by_one.measurements_used());
+        for i in 0..20 {
+            for j in 0..20 {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    batched.raw_score(i, j).unwrap(),
+                    one_by_one.raw_score(i, j).unwrap(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_remote_applies_validate_all_or_nothing() {
+        let mut s = small_session(12, 6, 32);
+        let before = s.clone();
+        let good = vec![0.5; s.config().rank];
+        let bad = vec![f64::NAN; s.config().rank];
+        let batch = [
+            RemoteRtt {
+                i: 0,
+                x: 1.0,
+                u_j: &good,
+                v_j: &good,
+            },
+            RemoteRtt {
+                i: 1,
+                x: 1.0,
+                u_j: &bad,
+                v_j: &good,
+            },
+        ];
+        let mut scores = Vec::new();
+        let err = s.apply_rtt_remote_batch(&batch, &mut scores).unwrap_err();
+        // Same error the per-update entry point produces...
+        assert_eq!(
+            err,
+            before
+                .clone()
+                .apply_rtt_remote(1, 1.0, &bad, &good)
+                .unwrap_err()
+        );
+        // ...and nothing applied: the good update did not land.
+        assert_eq!(s.measurements_used(), before.measurements_used());
+        assert_eq!(s.raw_score(0, 1).unwrap(), before.raw_score(0, 1).unwrap());
     }
 
     #[test]

@@ -198,6 +198,45 @@ impl CoordView {
         Ok(())
     }
 
+    /// Batched [`republish_node`](Self::republish_node): refreshes
+    /// every id in `ids` from `session` in one call, amortizing the
+    /// per-update publication overhead when a worker drains a batch
+    /// of updates before republishing.
+    ///
+    /// Validation is all-or-nothing: every id is checked before any
+    /// slot is written, so a failed batch leaves the view untouched
+    /// (the same contract as the single-node form). Duplicate ids are
+    /// fine — later entries simply rewrite the slot.
+    pub fn republish_nodes(
+        &mut self,
+        session: &Session,
+        ids: &[NodeId],
+    ) -> Result<(), DmfsgdError> {
+        for &id in ids {
+            if session.node(id).is_none() {
+                return Err(MembershipError::UnknownNode {
+                    id,
+                    slots: session.len(),
+                }
+                .into());
+            }
+            let rank_ok = session.node(id).expect("checked").coords.rank() == self.rank;
+            if id >= self.coords.len() || !rank_ok {
+                return Err(DmfsgdError::Import(format!(
+                    "republish of node {id} does not fit the published view \
+                     ({} slots, rank {})",
+                    self.coords.len(),
+                    self.rank
+                )));
+            }
+        }
+        for &id in ids {
+            self.coords[id] = session.node(id).expect("checked").coords.clone();
+            self.alive[id] = session.is_alive(id);
+        }
+        Ok(())
+    }
+
     /// Re-captures the whole view from `session` (coordinates,
     /// membership and neighbor rows), reusing allocations where slot
     /// counts match. Equivalent to `*self = session.publish()`.
@@ -293,6 +332,35 @@ mod tests {
             view.republish_node(&session, 999).unwrap_err(),
             DmfsgdError::Membership(MembershipError::UnknownNode { .. })
         ));
+    }
+
+    #[test]
+    fn republish_nodes_batches_without_changing_semantics() {
+        let (mut session, _) = trained(25, 4, 500);
+        let mut batched = session.publish();
+        let mut one_by_one = batched.clone();
+        for step in 0..20usize {
+            let i = step % 25;
+            let j = (i + 1 + step % 24) % 25;
+            session
+                .apply_measurement(i, j, 1.0, dmf_datasets::Metric::Rtt)
+                .expect("apply");
+        }
+        let touched: Vec<usize> = (0..20).map(|s| s % 25).collect();
+        batched
+            .republish_nodes(&session, &touched)
+            .expect("batched republish");
+        for &id in &touched {
+            one_by_one.republish_node(&session, id).expect("republish");
+        }
+        assert_eq!(batched, one_by_one);
+        // All-or-nothing: a bad id leaves the view untouched.
+        let before = batched.clone();
+        assert!(matches!(
+            batched.republish_nodes(&session, &[0, 999]).unwrap_err(),
+            DmfsgdError::Membership(MembershipError::UnknownNode { .. })
+        ));
+        assert_eq!(batched, before);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use crate::metrics::{RequestKind, ServiceMetrics};
 use crate::protocol::{ErrorCode, ProtocolDecode, ProtocolEncode, Request, Response, MAX_PAYLOAD};
 use crate::service::PredictionService;
+use crate::worker::UpdateTicket;
 use dmf_core::{DmfsgdError, NodeId};
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
@@ -52,6 +53,11 @@ pub struct ServerConnection {
     /// Reusable rank buffer: neighbor ranking allocates nothing per
     /// query ([`PredictionService::rank_neighbors_into`]).
     rank_buf: Vec<(NodeId, f64)>,
+    /// Reusable update-completion ticket: in-order execution means at
+    /// most one update from this connection is ever in flight, so one
+    /// ticket serves the whole connection without per-update
+    /// allocation.
+    update_ticket: Arc<UpdateTicket>,
     /// Requests rejected with [`ErrorCode::Overloaded`] so far.
     overload_rejections: u64,
     /// Observability sink, shared across the connections of one
@@ -71,6 +77,7 @@ impl ServerConnection {
             inbuf: Vec::new(),
             pending: VecDeque::new(),
             rank_buf: Vec::new(),
+            update_ticket: Arc::new(UpdateTicket::new()),
             overload_rejections: 0,
             metrics: None,
         }
@@ -90,6 +97,7 @@ impl ServerConnection {
         max_in_flight: usize,
         metrics: Arc<ServiceMetrics>,
     ) -> Self {
+        service.attach_metrics(&metrics);
         let mut conn = Self::new(service, max_in_flight);
         conn.metrics = Some(metrics);
         conn
@@ -224,7 +232,7 @@ impl ServerConnection {
                 }),
             Request::Update { i, j, x, .. } => self
                 .service
-                .update_rtt_scored(i as usize, j as usize, x)
+                .update_rtt_scored_with(i as usize, j as usize, x, &self.update_ticket)
                 .map(|score| {
                     if let Some(m) = &metrics {
                         // The pre-update score against the measured
@@ -260,10 +268,15 @@ impl ServerConnection {
             },
         };
         let ok = result.is_ok();
-        let resp = result.unwrap_or_else(|e| Response::Error {
-            seq,
-            code: error_code(&e),
-            message: e.to_string(),
+        let resp = result.unwrap_or_else(|e| {
+            if let (Some(m), ErrorCode::Overloaded) = (&metrics, error_code(&e)) {
+                m.record_overload();
+            }
+            Response::Error {
+                seq,
+                code: error_code(&e),
+                message: e.to_string(),
+            }
         });
         if let (Some(m), Some(t0)) = (&metrics, started) {
             m.record_request(kind, ok, t0.elapsed().as_micros() as u64);
@@ -294,8 +307,15 @@ fn metrics_disabled() -> DmfsgdError {
     )
 }
 
-/// Maps a service error to its wire category.
+/// Maps a service error to its wire category. The shard-queue
+/// backpressure rejection keeps its `Overloaded` identity — clients
+/// treat it exactly like an admission-window rejection (back off and
+/// retry), unlike `BadRequest`, which means the request itself is
+/// wrong.
 fn error_code(e: &DmfsgdError) -> ErrorCode {
+    if PredictionService::is_overload(e) {
+        return ErrorCode::Overloaded;
+    }
     match e {
         DmfsgdError::Membership(_) => ErrorCode::Membership,
         DmfsgdError::Config(_) | DmfsgdError::Import(_) | DmfsgdError::Transport(_) => {

@@ -10,15 +10,24 @@
 //!   into contiguous per-shard ranges with `O(1)` ownership lookup.
 //! * [`service`] — the shard pool and router
 //!   ([`PredictionService`]): each shard owns a
-//!   [`Session`](dmf_core::Session) behind a write lock and a
-//!   published [`CoordView`](dmf_core::CoordView) behind a read lock
-//!   (the session layer's read/write split), updates route to the
-//!   owning shard carrying the peer's reply coordinates (the paper's
-//!   Algorithm 1 wire shape), and cross-shard rank queries fan out
-//!   and merge with the session's own tie-break. Sharded answers are
-//!   **bit-identical** to a single-session oracle fed the same
-//!   operations in the same order — the conformance suite pins this
-//!   at several shard counts.
+//!   [`Session`](dmf_core::Session) behind a single-writer lock and
+//!   publishes its coordinates into a lock-free seqlocked
+//!   [`EpochView`](dmf_core::EpochView), so predictions and rank
+//!   queries never block on writers. Updates route to the owning
+//!   shard carrying the peer's reply coordinates (the paper's
+//!   Algorithm 1 wire shape), drain in arrival order through a
+//!   bounded per-shard queue — applied inline by the submitting
+//!   connection when the shard is uncontended, or by the shard's
+//!   dedicated worker thread under contention — and publish as one
+//!   epoch swap per batch. Sharded answers are **bit-identical** to
+//!   a single-session oracle fed the same operations in the same
+//!   order — the conformance suite pins this at several shard
+//!   counts.
+//! * [`worker`] — the building blocks of that write path: the
+//!   bounded MPSC update queue, the parked submitters' completion
+//!   tickets ([`UpdateTicket`]), and always-on batch-size /
+//!   queue-depth distribution statistics
+//!   ([`WorkerStatsSnapshot`]).
 //! * [`protocol`] — the framed request/response wire format:
 //!   `check`/`consume` buffered decoding over a byte stream
 //!   ([`ControlFlow`](std::ops::ControlFlow)-based head inspection),
@@ -65,6 +74,8 @@ pub mod partition;
 pub mod protocol;
 #[deny(missing_docs)]
 pub mod service;
+#[deny(missing_docs)]
+pub mod worker;
 
 pub use client::ServiceClient;
 pub use connection::{serve_loopback, ServerConnection, DEFAULT_MAX_IN_FLIGHT};
@@ -75,4 +86,5 @@ pub use protocol::{
     ErrorCode, MetricsFormat, ProtocolDecode, ProtocolEncode, Request, Response, CHECKSUM_LEN,
     HEADER_LEN, MAX_HEALTH_REASONS, MAX_PAYLOAD, MAX_RANKED, SERVICE_MAGIC, SERVICE_VERSION,
 };
-pub use service::PredictionService;
+pub use service::{PredictionService, DEFAULT_UPDATE_QUEUE};
+pub use worker::{UpdateTicket, WorkerStatsSnapshot, DIST_BUCKETS};

@@ -1,11 +1,11 @@
 //! The shard pool and query router: [`PredictionService`].
 //!
 //! A service hosts `shards` replicas of one DMFSGD population, each a
-//! full [`Session`] plus a published [`CoordView`], with authority
-//! over the coordinates partitioned by [`Partition`]: shard `s` is
-//! the *owner* of the node ids in `partition.range(s)` — updates for
-//! node `i` are applied only at `owner(i)`, so each replica's
-//! coordinates are authoritative exactly on its own range.
+//! full [`Session`] plus a lock-free published [`EpochView`], with
+//! authority over the coordinates partitioned by [`Partition`]:
+//! shard `s` is the *owner* of the node ids in `partition.range(s)` —
+//! updates for node `i` are applied only at `owner(i)`, so each
+//! replica's coordinates are authoritative exactly on its own range.
 //!
 //! Queries route by ownership. A prediction for `(i, j)` reads `u_i`
 //! from `owner(i)`'s published view and `v_j` from `owner(j)`'s; a
@@ -17,13 +17,49 @@
 //! Algorithm 1 wire shape — the sharded service is *bit-identical* to
 //! one big session fed the same operations in the same order: the
 //! router ships `j`'s published reply coordinates to `owner(i)`,
-//! which applies them through [`Session::apply_rtt_remote`].
+//! which applies them through [`Session::apply_rtt_remote_batch`].
 //!
-//! Reads and writes split per shard: the [`Session`] sits behind a
-//! `Mutex` (writers serialize), the [`CoordView`] behind a `RwLock`
-//! (readers share). An update holds the session lock only for the
-//! `O(r)` SGD step and the view lock only for the `O(r)` republish,
-//! so predict traffic keeps flowing while training traffic lands.
+//! # Threading model
+//!
+//! *Reads never take a lock.* `predict` / `predict_class` /
+//! `rank_neighbors` run entirely against the per-shard [`EpochView`]
+//! seqlocks: each slot read is atomic (never torn), retried only for
+//! the nanoseconds a publication of that very slot is in flight.
+//!
+//! *Writes are single-writer per shard, batched.* An update is
+//! validated against the published membership, enqueued on the owning
+//! shard's bounded FIFO (`UpdateQueue`), and then drained by
+//! whoever holds that shard's write lock — the submitting connection
+//! itself when the shard is uncontended (it `try_lock`s and becomes
+//! the *combiner*, applying the queued batch inline), or the shard's
+//! dedicated worker thread when the lock is busy (the submitter
+//! notifies the worker and parks on its [`UpdateTicket`]). Batches
+//! drain in arrival order through
+//! [`Session::apply_rtt_remote_batch`], are published as one epoch
+//! swap, and tickets complete only after publication — so a caller
+//! that saw its update return reads its own write, and per-shard
+//! update order (hence byte-determinism) is preserved.
+//!
+//! A full queue is *backpressure*, not blocking: `try_push` failure
+//! surfaces as the wire protocol's `Overloaded` rejection
+//! ([`PredictionService::is_overload`]).
+//!
+//! # Lock order
+//!
+//! Pinned crate-wide (and exercised by the concurrent stress suite):
+//!
+//! 1. `write[s]` → `queue-inner[s]`: the combiner pops batches while
+//!    holding the shard write lock (only the write-lock holder may
+//!    pop). Pushers take the queue-inner mutex alone.
+//! 2. `write[s]` and `publish[s]` are **never held together**: a
+//!    batch's dirty slots are copied out under the write lock, the
+//!    write lock drops, and publication happens under the publish
+//!    lock (the short-critical-section rule). The versioned frontier
+//!    (`apply_seq` vs `published_seq`) makes the out-of-lock
+//!    publication safe: a slow publisher carrying stale slot copies
+//!    finds the frontier already past its batch and skips them.
+//! 3. Cross-shard acquisition (restore only) is ascending by shard
+//!    index, write locks before publish locks per shard.
 //!
 //! The service population is *static*: membership changes
 //! (join/leave) are a session-level concern not exposed through the
@@ -31,62 +67,87 @@
 //! trivially consistent.
 
 use crate::partition::Partition;
+use crate::worker::{UpdateJob, UpdateQueue, UpdateTicket, WorkerStats, WorkerStatsSnapshot};
+use dmf_core::session::RemoteRtt;
 use dmf_core::{
-    CoordView, DmfsgdConfig, DmfsgdError, MembershipError, NodeId, PredictionMode, Session,
-    Snapshot,
+    CoordVec, DmfsgdConfig, DmfsgdError, EpochView, MembershipError, NodeId, PredictionMode,
+    Session, Snapshot,
 };
-use std::sync::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, OnceLock, TryLockError};
 
-/// One shard: the writable session and its published read view.
-struct Shard {
-    session: Mutex<Session>,
-    view: RwLock<CoordView>,
+/// Default bound of each shard's update queue. Deep enough that
+/// well-behaved pipelined connections (each with at most one update
+/// in execution) never hit it; the bound exists so a stalled shard
+/// rejects with `Overloaded` instead of buffering without limit.
+pub const DEFAULT_UPDATE_QUEUE: usize = 1024;
+
+/// Most updates drained per write-lock acquisition. Bounds the time
+/// the write lock is held per batch (and the latency of the updates
+/// queued behind a long burst).
+const MAX_BATCH: usize = 64;
+
+/// The write half of one shard: the authoritative session plus the
+/// monotone apply sequence stamped onto every drained batch.
+struct ShardWrite {
+    session: Session,
+    /// Bumped once per applied batch (and per restore); never reset,
+    /// so slot copies stamped before a restore can never overwrite
+    /// the restored state.
+    apply_seq: u64,
 }
 
-impl Shard {
-    fn new(session: Session) -> Self {
-        let view = RwLock::new(session.publish());
-        Self {
-            session: Mutex::new(session),
-            view,
-        }
-    }
+/// One shard: single-writer state, lock-free read store, the bounded
+/// update queue its worker drains, and the publication frontier.
+struct Shard {
+    write: Mutex<ShardWrite>,
+    store: EpochView,
+    queue: UpdateQueue,
+    /// `published_seq` per slot: the `apply_seq` of the newest batch
+    /// whose copy of that slot has been published. Guarded by its own
+    /// mutex so publication never holds the write lock.
+    publish: Mutex<Vec<u64>>,
+    stats: WorkerStats,
+}
+
+/// The shared state behind [`PredictionService`] (the service itself
+/// additionally owns the worker threads' join handles).
+struct ServiceInner {
+    partition: Partition,
+    shards: Vec<Shard>,
+    /// Set once by the first instrumented connection
+    /// ([`attach_metrics`](PredictionService::attach_metrics)); read
+    /// lock-free on the update hot path.
+    metrics: OnceLock<Arc<crate::metrics::ServiceMetrics>>,
+}
+
+/// Reusable per-thread buffers for the drain path, so the inline
+/// combiner fast path allocates (almost) nothing per update.
+#[derive(Default)]
+struct DrainScratch {
+    batch: Vec<UpdateJob>,
+    /// Fetched replies, `2 * rank` values per job: `[u_j, v_j]`.
+    reply: Vec<f64>,
+    scores: Vec<f64>,
+    results: Vec<Result<f64, DmfsgdError>>,
+    /// Dirty slots copied out under the write lock for publication.
+    slots: Vec<(NodeId, dmf_core::Coordinates, bool)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<DrainScratch> = RefCell::default();
 }
 
 /// A sharded, concurrently-queryable prediction service over one
-/// DMFSGD population (see the [module docs](self) for the ownership
-/// and consistency model).
+/// DMFSGD population (see the [module docs](self) for the ownership,
+/// consistency and threading model).
 ///
 /// All methods take `&self`; the service is `Sync` and meant to be
-/// shared across connection threads behind an `Arc`.
+/// shared across connection threads behind an `Arc`. Dropping it
+/// stops and joins the per-shard worker threads.
 pub struct PredictionService {
-    partition: Partition,
-    shards: Vec<Shard>,
-}
-
-/// Replicated membership checks against a published view, mirroring
-/// the session's error order and payloads exactly (the parity suite
-/// pins this).
-fn check_alive(view: &CoordView, id: NodeId) -> Result<(), MembershipError> {
-    if id >= view.len() {
-        Err(MembershipError::UnknownNode {
-            id,
-            slots: view.len(),
-        })
-    } else if !view.is_alive(id) {
-        Err(MembershipError::Departed { id })
-    } else {
-        Ok(())
-    }
-}
-
-fn check_pair(vi: &CoordView, vj: &CoordView, i: NodeId, j: NodeId) -> Result<(), MembershipError> {
-    check_alive(vi, i)?;
-    check_alive(vj, j)?;
-    if i == j {
-        return Err(MembershipError::SelfPair { id: i });
-    }
-    Ok(())
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl PredictionService {
@@ -95,6 +156,17 @@ impl PredictionService {
     /// `config.seed`, so every replica — and any single-session oracle
     /// built from the same config — starts bit-identical).
     pub fn build(config: DmfsgdConfig, n: usize, shards: usize) -> Result<Self, DmfsgdError> {
+        Self::build_with_queue(config, n, shards, DEFAULT_UPDATE_QUEUE)
+    }
+
+    /// As [`build`](Self::build) with an explicit per-shard update
+    /// queue bound (backpressure knob; `>= 1`).
+    pub fn build_with_queue(
+        config: DmfsgdConfig,
+        n: usize,
+        shards: usize,
+        queue_capacity: usize,
+    ) -> Result<Self, DmfsgdError> {
         let partition = Partition::new(n, shards)?;
         let sessions = (0..shards)
             .map(|_| {
@@ -105,7 +177,7 @@ impl PredictionService {
                     .map_err(DmfsgdError::from)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::from_sessions(partition, sessions))
+        Ok(Self::from_sessions(partition, sessions, queue_capacity))
     }
 
     /// Serves an already-trained population: every shard restores the
@@ -120,62 +192,121 @@ impl PredictionService {
             sessions.push(Session::restore(snapshot)?);
         }
         sessions.push(reference);
-        Ok(Self::from_sessions(partition, sessions))
+        Ok(Self::from_sessions(
+            partition,
+            sessions,
+            DEFAULT_UPDATE_QUEUE,
+        ))
     }
 
-    fn from_sessions(partition: Partition, sessions: Vec<Session>) -> Self {
-        Self {
+    fn from_sessions(partition: Partition, sessions: Vec<Session>, queue_capacity: usize) -> Self {
+        let n = partition.len();
+        let shards: Vec<Shard> = sessions
+            .into_iter()
+            .map(|session| Shard {
+                store: EpochView::capture(&session),
+                write: Mutex::new(ShardWrite {
+                    session,
+                    apply_seq: 0,
+                }),
+                queue: UpdateQueue::new(queue_capacity),
+                publish: Mutex::new(vec![0; n]),
+                stats: WorkerStats::default(),
+            })
+            .collect();
+        let inner = Arc::new(ServiceInner {
             partition,
-            shards: sessions.into_iter().map(Shard::new).collect(),
-        }
+            shards,
+            metrics: OnceLock::new(),
+        });
+        let workers = (0..inner.shards.len())
+            .map(|s| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dmf-shard-{s}"))
+                    .spawn(move || worker_loop(&inner, s))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self { inner, workers }
     }
 
     /// The id partition routing queries to shards.
     pub fn partition(&self) -> &Partition {
-        &self.partition
+        &self.inner.partition
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// Number of node slots served.
     pub fn len(&self) -> usize {
-        self.partition.len()
+        self.inner.partition.len()
     }
 
     /// True when the service covers no nodes (never, by construction).
     pub fn is_empty(&self) -> bool {
-        self.partition.is_empty()
+        self.inner.partition.is_empty()
+    }
+
+    /// Attaches the observability sink (idempotent; the first call
+    /// wins). Once attached, the update path publishes
+    /// `dmf_service_shard_queue_depth` and the worker batch-size
+    /// histogram into it. Called by
+    /// [`ServerConnection::with_metrics`](crate::ServerConnection::with_metrics).
+    pub fn attach_metrics(&self, metrics: &Arc<crate::metrics::ServiceMetrics>) {
+        let _ = self.inner.metrics.set(Arc::clone(metrics));
+    }
+
+    /// Point-in-time batching statistics per shard: how updates
+    /// batched, how deep the queues ran (see [`WorkerStatsSnapshot`]).
+    pub fn worker_stats(&self) -> Vec<WorkerStatsSnapshot> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.stats.snapshot())
+            .collect()
+    }
+
+    /// True when `e` is the bounded-update-queue rejection — the
+    /// backpressure signal connections map to the wire protocol's
+    /// `Overloaded` code.
+    pub fn is_overload(e: &DmfsgdError) -> bool {
+        matches!(e, DmfsgdError::Transport(m) if m.contains("update queue full"))
     }
 
     /// Raw predictor output `u_i · v_j` plus the prediction mode, read
-    /// from the owning shards' published views.
+    /// lock-free from the owning shards' published stores.
     fn scored(&self, i: NodeId, j: NodeId) -> Result<(f64, PredictionMode), DmfsgdError> {
-        let oi = self.partition.owner(i.min(self.len())); // clamp: membership check rejects below
-        let oj = self.partition.owner(j.min(self.len()));
-        if oi == oj {
-            let v = self.shards[oi].view.read().expect("shard view lock");
-            check_pair(&v, &v, i, j)?;
-            let (ci, cj) = (v.coords(i).expect("alive"), v.coords(j).expect("alive"));
-            Ok((ci.predict_to(cj), v.mode()))
-        } else {
-            // Two shard views; acquire in ascending shard order so
-            // concurrent cross-shard readers and per-shard writers
-            // cannot form a cycle.
-            let (lo, hi) = (oi.min(oj), oi.max(oj));
-            let vlo = self.shards[lo].view.read().expect("shard view lock");
-            let vhi = self.shards[hi].view.read().expect("shard view lock");
-            let (vi, vj) = if oi == lo { (&vlo, &vhi) } else { (&vhi, &vlo) };
-            check_pair(vi, vj, i, j)?;
-            let (ci, cj) = (vi.coords(i).expect("alive"), vj.coords(j).expect("alive"));
-            Ok((ci.predict_to(cj), vi.mode()))
+        let inner = &*self.inner;
+        let n = inner.partition.len();
+        let store_i = &inner.shards[inner.partition.owner(i)].store;
+        let store_j = &inner.shards[inner.partition.owner(j)].store;
+        let rank = store_i.rank();
+        let mut u_i = CoordVec::zeros(rank);
+        let mut v_j = CoordVec::zeros(rank);
+        // Membership checks in the session's order (i, then j, then
+        // the self-pair), each fused with its slot read.
+        match store_i.read_u_into(i, &mut u_i) {
+            None => return Err(MembershipError::UnknownNode { id: i, slots: n }.into()),
+            Some(false) => return Err(MembershipError::Departed { id: i }.into()),
+            Some(true) => {}
         }
+        match store_j.read_v_into(j, &mut v_j) {
+            None => return Err(MembershipError::UnknownNode { id: j, slots: n }.into()),
+            Some(false) => return Err(MembershipError::Departed { id: j }.into()),
+            Some(true) => {}
+        }
+        if i == j {
+            return Err(MembershipError::SelfPair { id: i }.into());
+        }
+        Ok((dmf_core::coords::dot(&u_i, &v_j), store_i.mode()))
     }
 
     /// Predicted measure for the path `i → j` in natural units —
-    /// [`Session::predict`] semantics over the sharded views.
+    /// [`Session::predict`] semantics over the sharded stores.
     pub fn predict(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
         let (raw, mode) = self.scored(i, j)?;
         Ok(match mode {
@@ -185,7 +316,7 @@ impl PredictionService {
     }
 
     /// Predicted class (`+1.0` / `-1.0`) for the path `i → j` —
-    /// [`Session::predict_class`] semantics over the sharded views.
+    /// [`Session::predict_class`] semantics over the sharded stores.
     pub fn predict_class(&self, i: NodeId, j: NodeId) -> Result<f64, DmfsgdError> {
         Ok(if self.scored(i, j)?.0 >= 0.0 {
             1.0
@@ -196,38 +327,38 @@ impl PredictionService {
 
     /// Node `i`'s neighbors ranked by predicted score into a
     /// caller-owned buffer — [`Session::rank_neighbors_into`]
-    /// semantics, cross-shard. With one shard this is a direct
-    /// [`CoordView::rank_neighbors_into`] call; with more, the router
-    /// fans out over every owning shard's view and merges with the
-    /// shared tie-break, bit-identically to the single-session query.
+    /// semantics, cross-shard and lock-free. With one shard this is a
+    /// direct [`EpochView::rank_neighbors_into`] call; with more, the
+    /// router fans out over every owning shard's store and merges
+    /// with the shared tie-break, bit-identically to the
+    /// single-session query. Each slot read is atomic; a query
+    /// concurrent with updates may span publication epochs across
+    /// *different* slots, never within one.
     pub fn rank_neighbors_into(
         &self,
         i: NodeId,
         top_k: usize,
         out: &mut Vec<(NodeId, f64)>,
     ) -> Result<(), DmfsgdError> {
-        if self.shards.len() == 1 {
-            return self.shards[0]
-                .view
-                .read()
-                .expect("shard view lock")
-                .rank_neighbors_into(i, top_k, out);
+        let inner = &*self.inner;
+        if inner.shards.len() == 1 {
+            return inner.shards[0].store.rank_neighbors_into(i, top_k, out);
         }
         out.clear();
-        // Consistent fan-out read: all views, ascending shard order.
-        let views: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.view.read().expect("shard view lock"))
-            .collect();
-        let oi = self.partition.owner(i.min(self.len()));
-        check_alive(&views[oi], i)?;
-        let ci = views[oi].coords(i).expect("alive");
-        // Neighbor rows are replicated (same seed), so any view serves.
-        out.extend(views[oi].neighbors().neighbors(i).iter().map(|&j| {
-            let cj = views[self.partition.owner(j)].coords(j).expect("in range");
-            (j, ci.predict_to(cj))
-        }));
+        let store_i = &inner.shards[inner.partition.owner(i)].store;
+        store_i.check_alive(i)?;
+        let rank = store_i.rank();
+        let mut u_i = CoordVec::zeros(rank);
+        let mut v_j = CoordVec::zeros(rank);
+        store_i.read_u_into(i, &mut u_i);
+        // Neighbor rows are replicated (same seed), so any store
+        // serves them; coordinates come from each neighbor's owner.
+        for &j in store_i.neighbors().neighbors(i) {
+            inner.shards[inner.partition.owner(j)]
+                .store
+                .read_v_into(j, &mut v_j);
+            out.push((j, dmf_core::coords::dot(&u_i, &v_j)));
+        }
         dmf_core::session::rank_scored(out, top_k);
         Ok(())
     }
@@ -246,8 +377,8 @@ impl PredictionService {
 
     /// Applies an RTT-class measurement `x` for the pair `(i, j)`:
     /// reads `j`'s published reply coordinates at `owner(j)`, applies
-    /// the Algorithm 1 step at `owner(i)` through
-    /// [`Session::apply_rtt_remote`], and republishes `i`'s slot.
+    /// the Algorithm 1 step at `owner(i)` through the shard's
+    /// single-writer batch path, and publishes `i`'s slot.
     /// Sequentially this is bit-identical to
     /// `Session::apply_measurement(i, j, x, Metric::Rtt)` on a single
     /// session.
@@ -259,33 +390,69 @@ impl PredictionService {
     /// *pre-update* raw score `u_i · v_j` — the prediction the service
     /// would have given for the path just measured. Pairing it with
     /// the measured class `x` is how the observability layer feeds its
-    /// live quality window: the score is read under the same session
-    /// lock that applies the update, so it is exactly the prediction
-    /// in force when the measurement arrived.
+    /// live quality window: the score is computed inside the shard's
+    /// single-writer drain, so it is exactly the prediction in force
+    /// when the measurement's turn came.
+    ///
+    /// Blocks until the update is applied *and published* (or
+    /// rejected): a caller that sees this return observes its own
+    /// write. A full shard queue returns the `Overloaded`-mapped
+    /// rejection immediately ([`is_overload`](Self::is_overload)).
     pub fn update_rtt_scored(&self, i: NodeId, j: NodeId, x: f64) -> Result<f64, DmfsgdError> {
-        let oj = self.partition.owner(j.min(self.len()));
-        // Fetch the reply under the read lock, then drop it before
-        // touching owner(i)'s locks — no lock is held while acquiring
-        // a lock of another kind.
-        let (u_j, v_j) = {
-            let vj = self.shards[oj].view.read().expect("shard view lock");
-            // Membership flags are replicated, so owner(j)'s view can
-            // run the full pair check in the session's order.
-            check_pair(&vj, &vj, i, j)?;
-            let cj = vj.coords(j).expect("alive");
-            (cj.u.to_vec(), cj.v.to_vec())
-        };
-        let oi = self.partition.owner(i);
-        let shard = &self.shards[oi];
-        let mut session = shard.session.lock().expect("shard session lock");
-        let score = dmf_core::coords::dot(&session.nodes()[i].coords.u, &v_j);
-        session.apply_rtt_remote(i, x, &u_j, &v_j)?;
-        shard
-            .view
-            .write()
-            .expect("shard view lock")
-            .republish_node(&session, i)?;
-        Ok(score)
+        let ticket = Arc::new(UpdateTicket::new());
+        self.update_rtt_scored_with(i, j, x, &ticket)
+    }
+
+    /// [`update_rtt_scored`](Self::update_rtt_scored) with a
+    /// caller-owned (reusable) ticket — the connection hot path.
+    pub(crate) fn update_rtt_scored_with(
+        &self,
+        i: NodeId,
+        j: NodeId,
+        x: f64,
+        ticket: &Arc<UpdateTicket>,
+    ) -> Result<f64, DmfsgdError> {
+        let inner = &*self.inner;
+        // Admission validation against the published membership, in
+        // the session's error order (flags are replicated, so
+        // owner(j)'s store can run the full pair check); the x
+        // finiteness check mirrors `apply_rtt_remote`'s. Invalid
+        // requests never enqueue.
+        inner.shards[inner.partition.owner(j)]
+            .store
+            .check_pair(i, j)?;
+        if !x.is_finite() {
+            return Err(DmfsgdError::Import(
+                "remote reply carries non-finite values".to_string(),
+            ));
+        }
+        let s = inner.partition.owner(i);
+        let shard = &inner.shards[s];
+        let depth = shard
+            .queue
+            .try_push(UpdateJob {
+                i,
+                j,
+                x,
+                ticket: Arc::clone(ticket),
+            })
+            .map_err(|_| {
+                DmfsgdError::Transport(format!(
+                    "shard {s} update queue full ({} updates queued)",
+                    shard.queue.capacity()
+                ))
+            })?;
+        shard.stats.record_depth(depth);
+        if let Some(m) = inner.metrics.get() {
+            m.set_shard_queue_depth(s, depth);
+        }
+        // Combine or delegate: become the shard's writer if the lock
+        // is free (the uncontended fast path applies the update
+        // inline, no handoff); otherwise wake the dedicated worker.
+        SCRATCH.with(|scratch| {
+            drain_queue(inner, s, &mut scratch.borrow_mut(), false, Some(ticket));
+        });
+        ticket.take()
     }
 
     /// Restores every shard of a *live* service from `snapshot` — the
@@ -293,15 +460,23 @@ impl PredictionService {
     /// for rolling a running deployment back to a known-good
     /// checkpoint without tearing down its connections.
     ///
-    /// The swap is atomic with respect to updates: all shard session
-    /// locks are taken (in ascending order, the crate-wide rule)
-    /// before any shard is touched, restored sessions are built and
-    /// validated *before* any lock is taken, and the published views
-    /// are republished before the locks are released — so readers
-    /// never observe a mix of old and new coordinates once the first
-    /// view flips. The snapshot must describe the same population
-    /// size the service was built for.
+    /// The swap is atomic with respect to updates: restored sessions
+    /// are built and validated *before* any lock is taken, then all
+    /// shard write locks are acquired in ascending order (the
+    /// crate-wide rule), each store is republished wholesale under
+    /// its publish lock, and the publication frontier jumps past
+    /// every in-flight batch — a straggling publisher carrying
+    /// pre-restore slot copies finds the frontier ahead of its batch
+    /// and skips them. Updates still queued when the restore lands
+    /// apply *after* it, to the restored coordinates.
+    ///
+    /// The snapshot must describe the same population the service was
+    /// built for: size, rank, prediction mode and neighbor rows (the
+    /// published stores' immutable layout). Stand up a fresh service
+    /// via [`from_snapshot`](Self::from_snapshot) for structural
+    /// changes.
     pub fn restore_from_snapshot(&self, snapshot: &Snapshot) -> Result<(), DmfsgdError> {
+        let inner = &*self.inner;
         if snapshot.len() != self.len() {
             return Err(DmfsgdError::Import(format!(
                 "snapshot has {} nodes, the service serves {}",
@@ -311,20 +486,39 @@ impl PredictionService {
         }
         // Build (and thereby validate) every replacement session while
         // the service keeps serving; only then stop the world.
-        let mut restored = Vec::with_capacity(self.shards.len());
-        for _ in 0..self.shards.len() {
+        let mut restored = Vec::with_capacity(inner.shards.len());
+        for _ in 0..inner.shards.len() {
             restored.push(Session::restore(snapshot)?);
         }
-        let mut sessions: Vec<_> = self
+        let store0 = &inner.shards[0].store;
+        let fresh = restored.first().expect("at least one shard");
+        if fresh.config().rank != store0.rank()
+            || fresh.config().mode != store0.mode()
+            || !same_neighbors(fresh, store0)
+        {
+            return Err(DmfsgdError::Import(
+                "snapshot changes the served structure (rank, mode or neighbor rows); \
+                 build a fresh service with from_snapshot instead"
+                    .to_string(),
+            ));
+        }
+        let mut guards: Vec<_> = inner
             .shards
             .iter()
-            .map(|s| s.session.lock().expect("shard session lock"))
+            .map(|sh| sh.write.lock().expect("shard write lock"))
             .collect();
-        for (guard, fresh) in sessions.iter_mut().zip(restored) {
-            **guard = fresh;
-        }
-        for (shard, guard) in self.shards.iter().zip(&sessions) {
-            *shard.view.write().expect("shard view lock") = guard.publish();
+        for ((shard, guard), fresh) in inner.shards.iter().zip(guards.iter_mut()).zip(restored) {
+            let mut frontier = shard.publish.lock().expect("shard publish lock");
+            guard.session = fresh;
+            guard.apply_seq += 1;
+            let seq = guard.apply_seq;
+            shard
+                .store
+                .publish_all(&guard.session)
+                .expect("structure validated above");
+            for f in frontier.iter_mut() {
+                *f = seq;
+            }
         }
         Ok(())
     }
@@ -332,29 +526,225 @@ impl PredictionService {
     /// JSON snapshot of shard `shard`'s session (authoritative for its
     /// own partition range; replica state elsewhere).
     pub fn snapshot_json(&self, shard: usize) -> Result<Vec<u8>, DmfsgdError> {
-        let Some(s) = self.shards.get(shard) else {
+        let Some(s) = self.inner.shards.get(shard) else {
             return Err(DmfsgdError::Transport(format!(
                 "snapshot of shard {shard}, but the service has {} shards",
-                self.shards.len()
+                self.inner.shards.len()
             )));
         };
-        let session = s.session.lock().expect("shard session lock");
-        Ok(session.snapshot().to_json().into_bytes())
+        let w = s.write.lock().expect("shard write lock");
+        Ok(w.session.snapshot().to_json().into_bytes())
     }
 
     /// Total measurements applied across all shards (each update lands
     /// on exactly one shard, so this is the service-wide count).
     pub fn measurements_used(&self) -> usize {
-        self.shards
+        self.inner
+            .shards
             .iter()
             .map(|s| {
-                s.session
+                s.write
                     .lock()
-                    .expect("shard session lock")
+                    .expect("shard write lock")
+                    .session
                     .measurements_used()
             })
             .sum()
     }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        for shard in &self.inner.shards {
+            shard.queue.close();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// True when the restored session's neighbor rows equal the store's
+/// (the rank queries' immutable fan-out layout).
+fn same_neighbors(session: &Session, store: &EpochView) -> bool {
+    let (a, b) = (session.neighbors(), store.neighbors());
+    session.len() == store.len() && (0..session.len()).all(|i| a.neighbors(i) == b.neighbors(i))
+}
+
+/// The dedicated single-writer backstop of shard `s`: parks on the
+/// queue condvar, drains on every handoff, exits when the service
+/// drops.
+fn worker_loop(inner: &ServiceInner, s: usize) {
+    let mut scratch = DrainScratch::default();
+    while inner.shards[s].queue.wait_for_work() {
+        drain_queue(inner, s, &mut scratch, true, None);
+    }
+}
+
+/// Drains shard `s`'s queue in arrival-order batches: acquire the
+/// write lock (blocking for the worker, `try` for an inline
+/// combiner), pop a batch, apply it, *release*, publish, complete
+/// tickets; repeat until the queue is observed empty (or, for a
+/// combiner, its own ticket completed). Always leaves a non-empty
+/// queue with a worker wakeup pending, so no accepted job strands.
+fn drain_queue(
+    inner: &ServiceInner,
+    s: usize,
+    scratch: &mut DrainScratch,
+    by_worker: bool,
+    own: Option<&UpdateTicket>,
+) {
+    let shard = &inner.shards[s];
+    loop {
+        let guard = if by_worker {
+            Some(shard.write.lock().expect("shard write lock"))
+        } else {
+            match shard.write.try_lock() {
+                Ok(g) => Some(g),
+                Err(TryLockError::WouldBlock) => None,
+                Err(TryLockError::Poisoned(e)) => panic!("shard write lock: {e}"),
+            }
+        };
+        let Some(mut w) = guard else {
+            // Combine lost the race: hand the shard to its worker.
+            break;
+        };
+        shard.queue.pop_batch(&mut scratch.batch, MAX_BATCH);
+        if scratch.batch.is_empty() {
+            break;
+        }
+        let batch_seq = apply_batch(inner, s, &mut w, scratch);
+        // Lock-order rule 2: the write lock drops before publication;
+        // the O(r) slot copies in `scratch.slots` travel across.
+        drop(w);
+        publish_batch(inner, s, batch_seq, scratch);
+        shard.stats.record_batch(scratch.batch.len(), by_worker);
+        if let Some(m) = inner.metrics.get() {
+            m.record_worker_batch(scratch.batch.len());
+            m.set_shard_queue_depth(s, shard.queue.depth());
+        }
+        // Tickets complete only now — the publication is visible, so
+        // every completed update reads its own write.
+        for (job, result) in scratch.batch.drain(..).zip(scratch.results.drain(..)) {
+            job.ticket.complete(result);
+        }
+        if own.is_some_and(UpdateTicket::is_done) {
+            break;
+        }
+    }
+    if !shard.queue.is_empty() {
+        shard.queue.notify_worker();
+    }
+}
+
+/// Applies `scratch.batch` to shard `s` under its held write lock:
+/// fetches every reply lock-free from the owners' stores, applies the
+/// whole batch through [`Session::apply_rtt_remote_batch`] (with a
+/// per-job fallback preserving the exact sequential error surface if
+/// any job turned invalid since admission), stamps the batch
+/// sequence, and copies the dirty slots out for publication. Fills
+/// `scratch.results` (one per job, in order) and `scratch.slots`.
+fn apply_batch(
+    inner: &ServiceInner,
+    s: usize,
+    w: &mut ShardWrite,
+    scratch: &mut DrainScratch,
+) -> u64 {
+    let shard = &inner.shards[s];
+    let rank = shard.store.rank();
+    let DrainScratch {
+        batch,
+        reply,
+        scores,
+        results,
+        slots,
+    } = scratch;
+    reply.clear();
+    reply.resize(batch.len() * 2 * rank, 0.0);
+    results.clear();
+    let mut all_fetched = true;
+    for (k, job) in batch.iter().enumerate() {
+        let slot = &mut reply[k * 2 * rank..(k + 1) * 2 * rank];
+        let (u_j, v_j) = slot.split_at_mut(rank);
+        let owner_j = &inner.shards[inner.partition.owner(job.j)].store;
+        if owner_j.read_into(job.j, u_j, v_j) != Some(true) {
+            all_fetched = false;
+        }
+    }
+    let batched_ok = all_fetched && {
+        let updates: Vec<RemoteRtt<'_>> = batch
+            .iter()
+            .enumerate()
+            .map(|(k, job)| {
+                let slot = &reply[k * 2 * rank..(k + 1) * 2 * rank];
+                let (u_j, v_j) = slot.split_at(rank);
+                RemoteRtt {
+                    i: job.i,
+                    x: job.x,
+                    u_j,
+                    v_j,
+                }
+            })
+            .collect();
+        w.session.apply_rtt_remote_batch(&updates, scores).is_ok()
+    };
+    if batched_ok {
+        results.extend(scores.iter().copied().map(Ok));
+    } else {
+        // Rare: some job became invalid between admission and apply
+        // (a concurrent restore flipped membership, or a published
+        // reply carried non-finite values). Re-run the batch job by
+        // job so valid updates still land and each invalid one gets
+        // the exact error the sequential path would have produced.
+        for (k, job) in batch.iter().enumerate() {
+            let slot = &mut reply[k * 2 * rank..(k + 1) * 2 * rank];
+            let (u_j, v_j) = slot.split_at_mut(rank);
+            let owner_j = &inner.shards[inner.partition.owner(job.j)].store;
+            let result = owner_j
+                .check_pair(job.i, job.j)
+                .map_err(DmfsgdError::from)
+                .and_then(|()| {
+                    if owner_j.read_into(job.j, u_j, v_j) != Some(true) {
+                        return Err(MembershipError::Departed { id: job.j }.into());
+                    }
+                    let score =
+                        dmf_core::coords::dot(&w.session.nodes()[job.i].coords.u, &v_j[..rank]);
+                    w.session
+                        .apply_rtt_remote(job.i, job.x, &u_j[..rank], &v_j[..rank])?;
+                    Ok(score)
+                });
+            results.push(result);
+        }
+    }
+    w.apply_seq += 1;
+    let batch_seq = w.apply_seq;
+    slots.clear();
+    for job in batch.iter() {
+        if !slots.iter().any(|&(id, ..)| id == job.i) {
+            let node = w.session.node(job.i).expect("admission-validated id");
+            slots.push((job.i, node.coords.clone(), w.session.is_alive(job.i)));
+        }
+    }
+    batch_seq
+}
+
+/// Publishes a drained batch's slot copies under the shard's publish
+/// lock, skipping any slot the frontier already carried past
+/// `batch_seq` (a fresher batch published first), then bumps the
+/// store epoch once for the whole batch.
+fn publish_batch(inner: &ServiceInner, s: usize, batch_seq: u64, scratch: &mut DrainScratch) {
+    let shard = &inner.shards[s];
+    let mut frontier = shard.publish.lock().expect("shard publish lock");
+    for (id, coords, alive) in &scratch.slots {
+        if batch_seq > frontier[*id] {
+            shard
+                .store
+                .publish_slot(*id, coords, *alive)
+                .expect("slot copied from the owning session");
+            frontier[*id] = batch_seq;
+        }
+    }
+    shard.store.bump_epoch();
 }
 
 #[cfg(test)]
@@ -422,6 +812,10 @@ mod tests {
                 oracle.rank_neighbors(i, 8).unwrap()
             );
         }
+        // Every update drained through the batch machinery.
+        let stats = svc.worker_stats();
+        assert_eq!(stats.iter().map(|s| s.updates).sum::<u64>(), 400);
+        assert!(stats.iter().map(|s| s.batches).sum::<u64>() > 0);
     }
 
     #[test]
@@ -440,6 +834,20 @@ mod tests {
         assert_eq!(
             svc.update_rtt(99, 0, 1.0).unwrap_err(),
             oracle.rank_neighbors(99, 1).unwrap_err()
+        );
+        // Admission also rejects non-finite measurements with the
+        // session's exact error.
+        assert_eq!(
+            svc.update_rtt(0, 1, f64::NAN).unwrap_err(),
+            oracle
+                .clone()
+                .apply_rtt_remote(
+                    0,
+                    f64::NAN,
+                    &vec![0.0; oracle.config().rank],
+                    &vec![0.0; oracle.config().rank]
+                )
+                .unwrap_err()
         );
     }
 
@@ -526,6 +934,13 @@ mod tests {
             svc.restore_from_snapshot(&other.snapshot()).unwrap_err(),
             DmfsgdError::Import(_)
         ));
+        // So is a same-size snapshot with a different structure
+        // (different seed ⇒ different neighbor rows).
+        let reseeded = Session::builder().nodes(18).seed(99).build().unwrap();
+        assert!(matches!(
+            svc.restore_from_snapshot(&reseeded.snapshot()).unwrap_err(),
+            DmfsgdError::Import(_)
+        ));
     }
 
     #[test]
@@ -553,5 +968,37 @@ mod tests {
                 assert_eq!(svc.predict(i, j).unwrap(), trained.predict(i, j).unwrap());
             }
         }
+    }
+
+    /// The backpressure path end to end: with the shard write lock
+    /// pinned (so neither an inline combiner nor the worker can
+    /// drain), a capacity-1 queue accepts exactly one update and
+    /// rejects the next with the `Overloaded`-mapped error; releasing
+    /// the lock lets the dedicated worker drain the queued update and
+    /// complete its parked submitter.
+    #[test]
+    fn full_queue_rejects_as_overload_and_the_worker_drains_the_backlog() {
+        let cfg = config(12, 14);
+        let svc = Arc::new(PredictionService::build_with_queue(cfg, 12, 1, 1).unwrap());
+        let guard = svc.inner.shards[0].write.lock().unwrap();
+        let parked = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.update_rtt_scored(0, 1, 1.0))
+        };
+        // Wait until the parked submitter's job is queued.
+        while svc.inner.shards[0].queue.depth() < 1 {
+            std::thread::yield_now();
+        }
+        let err = svc.update_rtt(2, 3, 1.0).unwrap_err();
+        assert!(PredictionService::is_overload(&err), "{err}");
+        assert!(matches!(err, DmfsgdError::Transport(_)));
+        drop(guard);
+        let score = parked.join().unwrap().unwrap();
+        assert!(score.is_finite());
+        assert_eq!(svc.measurements_used(), 1);
+        let stats = svc.worker_stats();
+        assert_eq!(stats[0].updates, 1);
+        assert_eq!(stats[0].worker_batches, 1, "the backstop drained it");
+        assert_eq!(stats[0].max_depth, 1);
     }
 }

@@ -208,3 +208,172 @@ fn threaded_loopback_round_trip_under_pipelined_mixed_traffic() {
     let seqs: Vec<u32> = responses.iter().map(Response::seq).collect();
     assert_eq!(seqs, (0..total).collect::<Vec<u32>>());
 }
+
+/// One connection's request stream confined to its own node block
+/// (`[block * width, (block + 1) * width)`): updates, predicts and
+/// class queries whose answers depend only on that block's
+/// coordinates. Rank queries are excluded on purpose — neighbor sets
+/// span blocks, so their answers legitimately depend on concurrent
+/// foreign updates.
+fn block_stream(block: u32, width: u32, ops: usize) -> Vec<u8> {
+    let mut client = ServiceClient::new();
+    let mut wire = Vec::new();
+    let base = block * width;
+    for s in 0..ops as u32 {
+        let i = base + (s * 3) % width;
+        let j = base + ((s * 3) % width + 1 + s % (width - 1)) % width;
+        match s % 3 {
+            0 => client.submit_update(i, j, if s % 5 == 0 { -1.0 } else { 1.0 }, &mut wire),
+            1 => client.submit_predict(i, j, &mut wire),
+            _ => client.submit_predict_class(j, i, &mut wire),
+        };
+    }
+    wire
+}
+
+/// Satellite conformance for the shard-worker write path: the same
+/// per-connection schedules produce bit-identical response streams
+/// whether updates drain one at a time through an uncontended inline
+/// combiner (connections pumped one after another) or in worker/
+/// combiner batches under real thread contention (all connections
+/// pumped concurrently against the same service). Two connections
+/// share each shard, so the concurrent run genuinely contends the
+/// shard write locks and exercises multi-update batches; block
+/// confinement makes each connection's answers interleaving-proof.
+#[test]
+fn worker_batched_updates_match_the_inline_path_bit_for_bit() {
+    const CONNS: u32 = 4;
+    const WIDTH: u32 = 8;
+    const OPS: usize = 600;
+    let n = (CONNS * WIDTH) as usize;
+    let streams: Vec<Vec<u8>> = (0..CONNS).map(|c| block_stream(c, WIDTH, OPS)).collect();
+
+    // Reference: connections pumped strictly one after another —
+    // every update drains as an uncontended batch of one.
+    let svc = service(n, 21, 2);
+    let reference: Vec<Vec<u8>> = streams
+        .iter()
+        .map(|stream| {
+            let mut conn = ServerConnection::new(Arc::clone(&svc), 64);
+            let mut out = Vec::new();
+            for part in stream.chunks(48) {
+                conn.ingest(part, &mut out).expect("clean stream");
+                conn.drain(&mut out);
+            }
+            out
+        })
+        .collect();
+    let serial_stats = svc.worker_stats();
+    assert_eq!(
+        serial_stats.iter().map(|s| s.updates).sum::<u64>(),
+        (CONNS as u64) * (OPS as u64).div_ceil(3),
+        "every update drained"
+    );
+
+    // Same schedules, all connections at once, repeated a few rounds
+    // to give the schedulers chances to interleave differently.
+    for round in 0..3 {
+        let svc = service(n, 21, 2);
+        let outs: Vec<Vec<u8>> = {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    let svc = Arc::clone(&svc);
+                    let stream = stream.clone();
+                    thread::spawn(move || {
+                        let mut conn = ServerConnection::new(svc, 64);
+                        let mut out = Vec::new();
+                        for part in stream.chunks(48) {
+                            conn.ingest(part, &mut out).expect("clean stream");
+                            conn.drain(&mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("conn"))
+                .collect()
+        };
+        for (c, (got, want)) in outs.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got, want,
+                "round {round}: connection {c}'s response bytes diverged under contention"
+            );
+        }
+        assert_eq!(
+            svc.worker_stats().iter().map(|s| s.updates).sum::<u64>(),
+            (CONNS as u64) * (OPS as u64).div_ceil(3)
+        );
+    }
+}
+
+/// The scored-update surface under the same contention: the pre-update
+/// score sequence each writer observes is bit-identical to the one the
+/// single-session oracle produces for its schedule — the batch
+/// machinery neither reorders a connection's updates nor lets a batch
+/// read half-applied coordinates.
+#[test]
+fn concurrent_scored_updates_match_the_oracle_score_sequences() {
+    const CONNS: usize = 4;
+    const WIDTH: usize = 8;
+    const UPDATES: usize = 300;
+    let n = CONNS * WIDTH;
+    let cfg = paper_config(n, 23);
+    let schedule = |c: usize, s: usize| {
+        let base = c * WIDTH;
+        let i = base + (s * 3) % WIDTH;
+        let j = base + ((s * 3) % WIDTH + 1 + s % (WIDTH - 1)) % WIDTH;
+        (i, j, if s.is_multiple_of(5) { -1.0 } else { 1.0 })
+    };
+
+    let mut oracle = SessionBuilder::new()
+        .config(cfg)
+        .nodes(n)
+        .build()
+        .expect("oracle");
+    let mut want: Vec<Vec<f64>> = vec![Vec::new(); CONNS];
+    for (c, lane) in want.iter_mut().enumerate() {
+        for s in 0..UPDATES {
+            let (i, j, x) = schedule(c, s);
+            let (u_j, v_j) = {
+                let node = oracle.node(j).expect("in range");
+                (node.coords.u.to_vec(), node.coords.v.to_vec())
+            };
+            let score = dmf_core::coords::dot(&oracle.node(i).expect("in range").coords.u, &v_j);
+            oracle.apply_rtt_remote(i, x, &u_j, &v_j).expect("applies");
+            lane.push(score);
+        }
+    }
+
+    let svc = service(n, 23, 2);
+    let handles: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                (0..UPDATES)
+                    .map(|s| {
+                        let (i, j, x) = schedule(c, s);
+                        svc.update_rtt_scored(i, j, x).expect("applies")
+                    })
+                    .collect::<Vec<f64>>()
+            })
+        })
+        .collect();
+    for (c, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("writer");
+        assert_eq!(got, want[c], "connection {c}'s score sequence");
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                assert_eq!(
+                    svc.predict(i, j).expect("serves"),
+                    oracle.predict(i, j).expect("serves"),
+                    "({i},{j}) after the concurrent run"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrent read-path stress: predictions and rankings served
+//! lock-free from the epoch stores while writers hammer updates.
+//!
+//! The seqlock mechanism itself (readers retry during an in-flight
+//! publication, never observe a half-written slot) is pinned at the
+//! core layer by `dmf_core::epoch`'s concurrent uniform-vector test.
+//! This suite stresses the *integration*: many reader threads driving
+//! the full service query surface against many writer threads, with
+//! the invariants a torn or unpublished read would break —
+//!
+//! * every prediction is finite (coordinates only ever hold finite
+//!   values, and a reader can only see whole published slots);
+//! * every class is exactly `±1.0` and consistent with the raw score;
+//! * every ranking is a complete, correctly ordered permutation of
+//!   the node's neighbor set;
+//! * after the writers finish, the service state is bit-identical to
+//!   a single-session oracle fed the same per-writer schedules —
+//!   concurrent readers perturbed nothing.
+//!
+//! CI runs this suite both natively and under `DMF_FORCE_SCALAR=1`,
+//! pinning the invariants for both kernel dispatch paths.
+
+use dmf_core::{DmfsgdConfig, Session, SessionBuilder};
+use dmf_service::PredictionService;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const CONNS: usize = 4;
+const WIDTH: usize = 8;
+const UPDATES: usize = 400;
+const READERS: usize = 3;
+
+fn config(n: usize, seed: u64) -> DmfsgdConfig {
+    let s = SessionBuilder::new()
+        .nodes(n)
+        .seed(seed)
+        .build()
+        .expect("valid defaults");
+    *s.config()
+}
+
+/// Writer `c`'s deterministic update schedule, confined to its own
+/// node block so the final state is oracle-checkable regardless of
+/// how the writers interleave.
+fn schedule(c: usize, s: usize) -> (usize, usize, f64) {
+    let base = c * WIDTH;
+    let i = base + (s * 3) % WIDTH;
+    let j = base + ((s * 3) % WIDTH + 1 + s % (WIDTH - 1)) % WIDTH;
+    (i, j, if s.is_multiple_of(5) { -1.0 } else { 1.0 })
+}
+
+#[test]
+fn readers_never_observe_torn_or_unpublished_state_under_write_load() {
+    let n = CONNS * WIDTH;
+    let cfg = config(n, 31);
+    let svc = Arc::new(PredictionService::build(cfg, n, 4).expect("service"));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut reads = 0u64;
+                let mut rank_buf = Vec::new();
+                let mut s = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let i = (s * 7) % n;
+                    let j = (i + 1 + s % (n - 1)) % n;
+                    let value = svc.predict(i, j).expect("live pair");
+                    assert!(
+                        value.is_finite(),
+                        "reader {r} observed a non-finite prediction for ({i},{j})"
+                    );
+                    let class = svc.predict_class(i, j).expect("live pair");
+                    assert!(
+                        class == 1.0 || class == -1.0,
+                        "reader {r} observed class {class}"
+                    );
+                    svc.rank_neighbors_into(i, usize::MAX, &mut rank_buf)
+                        .expect("live node");
+                    // A complete ranking: every neighbor exactly once,
+                    // scores ordered by the shared tie-break.
+                    let mut ids: Vec<usize> = rank_buf.iter().map(|&(id, _)| id).collect();
+                    for w in rank_buf.windows(2) {
+                        let ((a_id, a), (b_id, b)) = (w[0], w[1]);
+                        assert!(a.is_finite() && b.is_finite(), "reader {r}: torn score");
+                        assert!(
+                            a > b || (a == b && a_id < b_id),
+                            "reader {r}: ranking order violated at node {i}"
+                        );
+                    }
+                    ids.sort_unstable();
+                    ids.dedup();
+                    assert_eq!(ids.len(), rank_buf.len(), "reader {r}: duplicate entry");
+                    reads += 1;
+                    s = s.wrapping_add(1);
+                }
+                reads
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                for s in 0..UPDATES {
+                    let (i, j, x) = schedule(c, s);
+                    svc.update_rtt(i, j, x).expect("applies");
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert!(total_reads > 0, "readers made progress");
+
+    // Concurrent readers perturbed nothing: the end state is the
+    // oracle's, bit for bit (block confinement makes the oracle's
+    // global order irrelevant).
+    let mut oracle = Session::builder()
+        .config(cfg)
+        .nodes(n)
+        .build()
+        .expect("oracle");
+    for c in 0..CONNS {
+        for s in 0..UPDATES {
+            let (i, j, x) = schedule(c, s);
+            oracle
+                .apply_measurement(i, j, x, dmf_datasets::Metric::Rtt)
+                .expect("applies");
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                assert_eq!(
+                    svc.predict(i, j).expect("serves"),
+                    oracle.predict(i, j).expect("serves"),
+                    "({i},{j})"
+                );
+            }
+        }
+        assert_eq!(
+            svc.rank_neighbors(i, 8).expect("serves"),
+            oracle.rank_neighbors(i, 8).expect("serves")
+        );
+    }
+    assert_eq!(svc.measurements_used(), CONNS * UPDATES);
+}

@@ -15,6 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GUARDS=(
+  "crates/core/src/lib.rs:epoch"
   "crates/core/src/lib.rs:session"
   "crates/core/src/lib.rs:snapshot"
   "crates/core/src/lib.rs:error"
@@ -36,6 +37,7 @@ GUARDS=(
   "crates/service/src/lib.rs:partition"
   "crates/service/src/lib.rs:protocol"
   "crates/service/src/lib.rs:service"
+  "crates/service/src/lib.rs:worker"
 )
 
 fail=0
